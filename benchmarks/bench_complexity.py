@@ -1,0 +1,67 @@
+"""Section III-E: the analytic worst case measured on the real engine.
+
+The branch-every-instruction adversary over k isolated nodes must drive COB
+to exactly (2^k)^u dscenarios and k * (2^k)^u states, while COW and SDS
+hold one dstate (no communication => no conflicts).  This validates both
+the bound and its interpretation as an upper bound for all algorithms.
+"""
+
+import pytest
+
+from repro import Scenario, Topology, build_engine
+from repro.core.complexity import (
+    dscenario_tree_size,
+    instructions_to_reach,
+    worst_case_states_at_level,
+)
+from repro.workloads import branch_storm_program
+
+
+def storm(k, depth):
+    return Scenario(
+        name=f"storm-{k}x{depth}",
+        program=branch_storm_program(depth),
+        topology=Topology.full_mesh(k) if k > 1 else Topology.line(1),
+        horizon_ms=10,
+    )
+
+
+@pytest.mark.parametrize("k,depth", [(2, 3), (3, 2), (4, 2)])
+def test_cob_worst_case_matches_formula(once, benchmark, k, depth):
+    engine = build_engine(storm(k, depth), "cob")
+    report = once(engine.run)
+    expected_groups = (2**k) ** depth
+    assert report.group_count == expected_groups
+    assert report.total_states == worst_case_states_at_level(k, depth)
+    benchmark.extra_info.update(
+        k=k,
+        depth=depth,
+        dscenarios=report.group_count,
+        states=report.total_states,
+        tree_size_D=dscenario_tree_size(k, depth),
+        instructions_bound_I=instructions_to_reach(k, depth),
+    )
+
+
+@pytest.mark.parametrize("k,depth", [(3, 3)])
+def test_compact_algorithms_escape_worst_case(once, benchmark, k, depth):
+    results = {}
+
+    def run_all():
+        for algorithm in ("cob", "cow", "sds"):
+            engine = build_engine(storm(k, depth), algorithm)
+            results[algorithm] = engine.run()
+        return results
+
+    once(run_all)
+    bound = worst_case_states_at_level(k, depth)
+    assert results["cob"].total_states == bound
+    # The bound is an upper bound for every algorithm...
+    assert results["cow"].total_states <= bound
+    assert results["sds"].total_states <= bound
+    # ...and without communication the compact algorithms are exponentially
+    # smaller: k * 2^depth instead of k * 2^(k*depth).
+    assert results["cow"].total_states == k * 2**depth
+    assert results["sds"].total_states == k * 2**depth
+    benchmark.extra_info["cob_states"] = results["cob"].total_states
+    benchmark.extra_info["sds_states"] = results["sds"].total_states

@@ -1,0 +1,80 @@
+"""Engine/VM throughput micro-benchmarks.
+
+Not a paper artifact — these keep an eye on the substrate itself: raw
+bytecode dispatch rate, fork cost, solver query rate.  Regressions here
+would silently stretch every Table-I/Figure-10 run.
+"""
+
+from repro import build_engine
+from repro.lang import compile_source
+from repro.solver import Solver
+from repro.vm import Executor
+from repro.workloads import grid_scenario
+
+HOT_LOOP = """
+var acc;
+func main(n) {
+    var i = 0;
+    while (i < n) {
+        acc = (acc + i) ^ (i << 3);
+        i += 1;
+    }
+}
+"""
+
+
+def test_concrete_dispatch_rate(benchmark):
+    program = compile_source(HOT_LOOP)
+    executor = Executor(program)
+
+    def run_loop():
+        state = executor.make_initial_state(0)
+        executor.run_event(state, "main", [20_000])
+        return executor.instructions_executed
+
+    instructions = benchmark(run_loop)
+    assert instructions > 0
+    benchmark.extra_info["instructions_per_round"] = 20_000 * 9
+
+
+def test_state_fork_cost(benchmark):
+    scenario = grid_scenario(5, sim_seconds=2)
+    engine = build_engine(scenario, "sds")
+    engine.setup()
+    state = next(iter(engine.states.values()))
+
+    def fork_many():
+        return [state.fork() for _ in range(1000)]
+
+    twins = benchmark(fork_many)
+    assert len(twins) == 1000
+
+
+def test_solver_query_rate(benchmark):
+    from repro.expr import bv, eq, ne, ult, var
+
+    solver = Solver(use_cache=False)
+    x = var("x")
+
+    def query_batch():
+        sat = 0
+        for bound in range(2, 34):
+            if solver.check([ult(x, bv(bound)), ne(x, bv(0))]):
+                sat += 1
+        return sat
+
+    sat = benchmark(query_batch)
+    assert sat == 32
+
+
+def test_sds_end_to_end_rate(benchmark):
+    def run():
+        engine = build_engine(grid_scenario(5, sim_seconds=4), "sds")
+        report = engine.run()
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rate = report.instructions / max(report.runtime_seconds, 1e-9)
+    benchmark.extra_info["instructions_per_second"] = int(rate)
+    benchmark.extra_info["events"] = report.events_executed
+    assert not report.aborted

@@ -1,0 +1,46 @@
+"""Figure 1: regular symbolic execution explores four unique paths of the
+``x==0 / x<50 / x>10`` program and generates one concrete test case each."""
+
+from repro.lang import compile_source
+from repro.solver import Solver
+from repro.vm import Executor, Status
+
+FIGURE1 = """
+var path;
+func main() {
+    var x = symbolic("x");
+    if (x == 0) { path = 1; }
+    else {
+        if (x < 50) {
+            if (x > 10) { path = 2; } else { path = 3; }
+        } else { path = 4; }
+    }
+}
+"""
+
+
+def explore_figure1():
+    program = compile_source(FIGURE1)
+    executor = Executor(program, Solver())
+    state = executor.make_initial_state(0)
+    states = executor.run_event(state, "main")
+    done = [s for s in states if s.status == Status.IDLE]
+    testcases = []
+    for final in done:
+        model = executor.solver.get_model(final.constraints)
+        testcases.append(model.get("n0.x", 0))
+    return done, testcases
+
+
+def test_figure1_paths_and_testcases(once, benchmark):
+    done, testcases = once(explore_figure1)
+    assert len(done) == 4
+    assert len(set(testcases)) == 4
+    signed = [v if v < 2**31 else v - 2**32 for v in testcases]
+    # One test case per path family of Figure 1.
+    assert any(v == 0 for v in signed)
+    assert any(10 < v < 50 for v in signed)
+    assert any(v != 0 and v <= 10 for v in signed)
+    assert any(v >= 50 for v in signed)
+    benchmark.extra_info["paths"] = len(done)
+    benchmark.extra_info["testcases"] = sorted(signed)

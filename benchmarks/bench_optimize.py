@@ -1,0 +1,39 @@
+"""Section III-D: attainable savings of the equal-packet optimization.
+
+The paper sketches (but does not implement) merging transmissions whose
+packets are equal in content/time and originate from a sending state and
+its rivals.  ``repro.core.optimize`` measures exactly how many mapping
+invocations such an optimizer could have skipped on a finished run.
+"""
+
+import pytest
+
+from repro import build_engine
+from repro.core import analyze_equal_packets
+from repro.workloads import grid_scenario, line_scenario
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("grid4", lambda: grid_scenario(4, sim_seconds=6)),
+        ("grid5", lambda: grid_scenario(5, sim_seconds=6)),
+        ("line5", lambda: line_scenario(5, sim_seconds=5)),
+    ],
+)
+def test_equal_packet_savings(once, benchmark, name, factory):
+    def measure():
+        engine = build_engine(factory(), "sds")
+        engine.run()
+        return engine, analyze_equal_packets(engine.states, engine.packets)
+
+    engine, report = once(measure)
+    # The structured collect scenarios re-send identical readings from
+    # sibling lineages, so the optimizer always has something to merge —
+    # and never everything (the first transmission of each group stays).
+    assert 0 < report.mergeable_transmissions < report.total_transmissions
+    benchmark.extra_info["scenario"] = name
+    benchmark.extra_info["transmissions"] = report.total_transmissions
+    benchmark.extra_info["mergeable"] = report.mergeable_transmissions
+    benchmark.extra_info["savings"] = round(report.savings_fraction(), 3)
+    benchmark.extra_info["merge_groups"] = len(report.groups)

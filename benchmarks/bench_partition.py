@@ -1,0 +1,41 @@
+"""Section VI future work: parallelization partitions.
+
+"For the parallelization, we have to identify the sets of states which can
+be safely offloaded on other cores and thus can be independently executed."
+
+Measured: the independent-partition decomposition of COW and SDS runs of
+the grid scenario, and the ideal speedup bound it implies.  COW dstates
+never share states (many small partitions, high ideal speedup); SDS's
+superposition fuses dstates into fewer offloadable units — the compactness
+that saves memory costs parallelism, a trade-off worth quantifying.
+"""
+
+import pytest
+
+from repro import build_engine
+from repro.core import partition_groups, speedup_bound
+from repro.workloads import grid_scenario
+
+
+@pytest.mark.parametrize("algorithm", ["cow", "sds"])
+def test_partition_analysis(once, benchmark, algorithm):
+    def measure():
+        engine = build_engine(grid_scenario(5, sim_seconds=6), algorithm)
+        engine.run()
+        partitions = partition_groups(engine.mapper)
+        return engine, partitions
+
+    engine, partitions = once(measure)
+    total_states = sum(p.state_count() for p in partitions)
+    assert total_states == len(engine.states)
+    bound = speedup_bound(partitions)
+    assert bound >= 1.0
+    if algorithm == "cow":
+        # Every COW dstate is its own partition.
+        assert len(partitions) == engine.mapper.group_count()
+        assert bound > 1.0
+    benchmark.extra_info["partitions"] = len(partitions)
+    benchmark.extra_info["ideal_speedup"] = round(bound, 2)
+    benchmark.extra_info["largest_partition"] = max(
+        p.state_count() for p in partitions
+    )

@@ -1,0 +1,69 @@
+"""Table I: the 100-node grid with symbolic packet drops under COB/COW/SDS.
+
+Paper's Table I (their testbed, 10 s simulated time):
+
+    COB   9h:39m (aborted)   1,025,700 states   38.1 GB
+    COW   1h:38m                30,464 states    3.4 GB
+    SDS   19m                    4,159 states    1.6 GB
+
+The reproduction checks the *shape*: SDS < COW << COB in both states and
+accounted memory, with COB hitting its cap ("aborted") while COW and SDS
+complete.  Default scale shortens the simulation; ``SDE_FULL=1`` restores
+the paper's 10 seconds.
+"""
+
+import pytest
+
+from repro.bench.runner import full_scale, run_one
+from repro.workloads import paper_grid_scenario
+
+NODES = 100
+SIM_SECONDS = 10 if full_scale() else 4
+COB_STATE_CAP = 1_000_000 if full_scale() else 120_000
+COB_WALL_CAP = 3600.0 if full_scale() else 90.0
+
+_rows = {}
+
+
+def _scenario():
+    return paper_grid_scenario(
+        NODES, sim_seconds=SIM_SECONDS, sample_every_events=256
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["sds", "cow", "cob"])
+def test_table1_row(once, benchmark, algorithm):
+    caps = {}
+    if algorithm == "cob":
+        caps = dict(
+            max_states=COB_STATE_CAP, max_wall_seconds=COB_WALL_CAP
+        )
+    row = once(run_one, _scenario(), algorithm, **caps)
+    _rows[algorithm] = row
+    benchmark.extra_info.update(row.as_dict())
+
+    if algorithm == "cob":
+        # COB must be the outlier: if it did not even finish, that is the
+        # paper's result; if it finished, it must dwarf the others.
+        assert row.aborted or row.states > 10 * _rows["cow"].states
+    if algorithm == "cow":
+        assert not row.aborted
+    if algorithm == "sds":
+        assert not row.aborted
+
+    # Once all three rows exist, check the full Table-I ordering.
+    if len(_rows) == 3:
+        sds, cow, cob = _rows["sds"], _rows["cow"], _rows["cob"]
+        assert sds.states < cow.states < cob.states
+        assert sds.accounted_bytes < cow.accounted_bytes < cob.accounted_bytes
+        assert sds.runtime_seconds <= cob.runtime_seconds
+        print()
+        from repro.bench.report import render_table1
+
+        print(
+            render_table1(
+                [cob, cow, sds],
+                f"Table I — {NODES}-node scenario"
+                f" (sim {SIM_SECONDS}s, {'full' if full_scale() else 'scaled'})",
+            )
+        )

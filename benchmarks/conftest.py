@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Every benchmark runs exactly once (``pedantic`` with one round): SDE runs
+are long and deterministic, so statistical repetition would only burn time.
+``SDE_FULL=1`` switches the underlying scenarios to the paper's full scale.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

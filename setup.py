@@ -1,0 +1,6 @@
+"""Legacy shim: the offline environment lacks the `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-use-pep517` goes through here."""
+
+from setuptools import setup
+
+setup()

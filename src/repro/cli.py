@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``      — run one scenario under one algorithm, print the report
+- ``compare``  — run a scenario under all three algorithms (Table-I style)
+- ``table1``   — regenerate Table I (delegates to repro.bench.table1)
+- ``figure10`` — regenerate Figure 10 (delegates to repro.bench.figure10)
+- ``compile``  — compile an NSL source file and print the disassembly
+- ``testcases``— run a scenario and emit distributed test cases
+
+Scenario selectors for run/compare/testcases: ``grid:<side>``,
+``line:<k>``, ``flood:<k>`` (e.g. ``grid:5`` is the paper's 25-node grid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.report import render_table1
+from .bench.runner import BenchRow, run_one
+from .core.scenario import ALGORITHMS, Scenario, build_engine
+from .core.testcase import generate_incrementally
+from .workloads import flood_scenario, grid_scenario, line_scenario
+
+__all__ = ["main"]
+
+
+def _parse_scenario(spec: str, sim_seconds: int) -> Scenario:
+    kind, _, size_text = spec.partition(":")
+    if not size_text:
+        raise SystemExit(
+            f"bad scenario {spec!r}: use grid:<side>, line:<k> or flood:<k>"
+        )
+    size = int(size_text)
+    if kind == "grid":
+        return grid_scenario(size, sim_seconds=sim_seconds)
+    if kind == "line":
+        return line_scenario(size, sim_seconds=sim_seconds)
+    if kind == "flood":
+        return flood_scenario(size, rounds=max(1, sim_seconds))
+    raise SystemExit(f"unknown scenario kind {kind!r}")
+
+
+def _cmd_run(args) -> int:
+    scenario = _parse_scenario(args.scenario, args.sim_seconds)
+    engine = build_engine(
+        scenario,
+        args.algorithm,
+        max_states=args.max_states,
+        max_wall_seconds=args.max_wall_seconds,
+    )
+    report = engine.run()
+    row = BenchRow(scenario.name, report)
+    print(render_table1([row], f"{scenario.name} under {args.algorithm}"))
+    print(f"\nevents={row.events} instructions={row.instructions}"
+          f" error-states={row.error_states}")
+    if row.aborted:
+        print(f"ABORTED: {row.abort_reason}")
+    if args.json:
+        from .core.reporting import save_report
+
+        save_report(report, args.json)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows: List[BenchRow] = []
+    for algorithm in ALGORITHMS:
+        scenario = _parse_scenario(args.scenario, args.sim_seconds)
+        caps = {}
+        if algorithm == "cob":
+            caps = dict(
+                max_states=args.max_states or 500_000,
+                max_wall_seconds=args.max_wall_seconds or 120.0,
+            )
+        rows.append(run_one(scenario, algorithm, **caps))
+    print(render_table1(rows, f"{args.scenario} — algorithm comparison"))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from .lang import compile_source, disassemble
+
+    with open(args.file) as handle:
+        source = handle.read()
+    program = compile_source(source)
+    print(
+        f"; {len(program.functions)} functions, {len(program.code)}"
+        f" instructions, {program.memory_size} memory cells"
+    )
+    print(disassemble(program))
+    return 0
+
+
+def _cmd_testcases(args) -> int:
+    scenario = _parse_scenario(args.scenario, args.sim_seconds)
+    engine = build_engine(scenario, args.algorithm)
+    report = engine.run()
+    print(
+        f"# {scenario.name}: {report.total_states} states,"
+        f" {report.group_count} groups, {len(report.error_states)} defects"
+    )
+    emitted = 0
+    for testcase in generate_incrementally(
+        engine.mapper, engine.solver, limit=args.limit
+    ):
+        emitted += 1
+        status = "ok" if not testcase.errors() else "DEFECT"
+        if not testcase.feasible:
+            status = "infeasible"
+        inputs = " ".join(
+            f"{name}={value}"
+            for name, value in sorted(testcase.assignments.items())
+        )
+        print(f"testcase {emitted:4d} [{status}] {inputs}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDE: scalable symbolic execution of distributed systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scenario")
+    run_parser.add_argument("scenario", help="grid:<side> | line:<k> | flood:<k>")
+    run_parser.add_argument("--algorithm", choices=ALGORITHMS, default="sds")
+    run_parser.add_argument("--sim-seconds", type=int, default=10)
+    run_parser.add_argument("--max-states", type=int, default=None)
+    run_parser.add_argument("--max-wall-seconds", type=float, default=None)
+    run_parser.add_argument(
+        "--json", default=None, help="write the full report as JSON"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run all three algorithms on one scenario"
+    )
+    compare_parser.add_argument("scenario")
+    compare_parser.add_argument("--sim-seconds", type=int, default=10)
+    compare_parser.add_argument("--max-states", type=int, default=None)
+    compare_parser.add_argument("--max-wall-seconds", type=float, default=None)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    table1_parser = sub.add_parser("table1", help="regenerate Table I")
+    table1_parser.add_argument("nodes", nargs="?", type=int, default=100)
+    table1_parser.set_defaults(
+        handler=lambda args: __import__(
+            "repro.bench.table1", fromlist=["main"]
+        ).main([str(args.nodes)])
+    )
+
+    figure10_parser = sub.add_parser("figure10", help="regenerate Figure 10")
+    figure10_parser.add_argument("nodes", nargs="*", type=int)
+    figure10_parser.set_defaults(
+        handler=lambda args: __import__(
+            "repro.bench.figure10", fromlist=["main"]
+        ).main([str(n) for n in args.nodes])
+    )
+
+    compile_parser = sub.add_parser("compile", help="compile + disassemble NSL")
+    compile_parser.add_argument("file")
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    testcases_parser = sub.add_parser(
+        "testcases", help="emit distributed test cases for a scenario"
+    )
+    testcases_parser.add_argument("scenario")
+    testcases_parser.add_argument("--algorithm", choices=ALGORITHMS, default="sds")
+    testcases_parser.add_argument("--sim-seconds", type=int, default=5)
+    testcases_parser.add_argument("--limit", type=int, default=50)
+    testcases_parser.set_defaults(handler=_cmd_testcases)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Analytic complexity bounds of SDE (paper Section III-E).
+
+The paper derives worst-case bounds for COB on the adversarial program in
+which *every* instruction branches, over a network of ``k`` nodes, until a
+bug at instruction ``u``:
+
+- an N-step (advancing one u-complete dscenario one instruction on every
+  node) executes ``2^k - 1`` instructions and yields ``2^k`` successors;
+- the dscenario tree down to level ``u`` holds
+  ``D(u) = (2^(k(u+1)) - 1) / (2^k - 1)`` dscenarios;
+- the total instructions executed are ``I(u) = 2^(k*u)``;
+- space is ``O(k * 2^(k*u))`` (states on the last level), and overall time
+  is ``O(k * 2^(k*u))`` as well — exponential in both depth and network
+  size, and an upper bound for all three algorithms.
+
+``benchmarks/bench_complexity.py`` and ``tests/core/test_complexity.py``
+validate these formulas empirically against an engine run of the
+branch-every-instruction program.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "nstep_instructions",
+    "nstep_successors",
+    "dscenario_tree_size",
+    "instructions_to_reach",
+    "worst_case_space",
+    "worst_case_states_at_level",
+]
+
+
+def _check(k: int, u: int = 1) -> None:
+    if k < 1:
+        raise ValueError("network size k must be >= 1")
+    if u < 0:
+        raise ValueError("instruction depth u must be >= 0")
+
+
+def nstep_instructions(k: int) -> int:
+    """Instructions executed by one N-step: 2^0 + ... + 2^(k-1) = 2^k - 1."""
+    _check(k)
+    return 2**k - 1
+
+
+def nstep_successors(k: int) -> int:
+    """(l+1)-complete dscenarios produced from one l-complete one: 2^k."""
+    _check(k)
+    return 2**k
+
+
+def dscenario_tree_size(k: int, u: int) -> int:
+    """D(u) = sum_{i=0..u} (2^k)^i = (2^(k(u+1)) - 1) / (2^k - 1)."""
+    _check(k, u)
+    numerator = 2 ** (k * (u + 1)) - 1
+    denominator = 2**k - 1
+    assert numerator % denominator == 0
+    return numerator // denominator
+
+
+def instructions_to_reach(k: int, u: int) -> int:
+    """I(u) = D(u-1) * (2^k - 1) + 1 = 2^(k*u)."""
+    _check(k, u)
+    if u == 0:
+        return 1  # the bug is the very first instruction
+    via_formula = dscenario_tree_size(k, u - 1) * nstep_instructions(k) + 1
+    closed_form = 2 ** (k * u)
+    assert via_formula == closed_form
+    return closed_form
+
+
+def worst_case_states_at_level(k: int, u: int) -> int:
+    """Execution states on tree level u: k states per dscenario."""
+    _check(k, u)
+    return k * (2**k) ** u
+
+
+def worst_case_space(k: int, u: int) -> int:
+    """The O(k * 2^(k*u)) bound evaluated exactly (states at level u)."""
+    return worst_case_states_at_level(k, u)

@@ -1,0 +1,417 @@
+"""The SDE engine — this reproduction's KleeNet.
+
+"KleeNet simulates a complete distributed system in a single process.  It
+starts with k states representing the nodes in the network.  As in any
+simulation, in each step KleeNet executes an event of a node and advances
+the time to the next event in the queue.  If the symbolic execution of an
+event handler produces new states, they're simply added to the state set.
+The state mapping algorithms are triggered either at the node's local branch
+(COB) or upon a node's message transmission (COW, SDS)."  — Section IV
+
+This module is exactly that loop:
+
+- a global, deterministic event queue over all execution states;
+- event dispatch into the symbolic VM (boot / timer / reception handlers);
+- failure-model application at reception (symbolic drops etc.);
+- transmissions routed through the pluggable state mapper;
+- growth sampling, state/memory/runtime caps (the paper aborts COB at the
+  machine's memory limit — the caps reproduce that behaviour), and a final
+  run report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..lang.bytecode import CompiledProgram
+from ..lang.compiler import compile_source
+from ..net.failures import FailureModel
+from ..net.medium import Medium
+from ..net.packet import Packet
+from ..net.topology import Topology
+from ..oslib.kernel import HANDLER_BOOT, HANDLER_RECV, HANDLER_TIMER, NodeOS
+from ..sim.clock import VirtualClock
+from ..sim.queue import EventQueue
+from ..solver import Solver
+from ..vm.executor import Executor
+from ..vm.state import CellValue, Event, ExecutionState, Status
+from .mapping import StateMapper
+from .stats import Sample, StatsRecorder, estimate_state_bytes
+
+__all__ = ["SDEEngine", "RunReport", "PresetValue"]
+
+# A preset global: one value for all nodes, or an explicit per-node mapping.
+PresetValue = Union[int, Dict[int, int]]
+
+
+class RunReport:
+    """Everything a benchmark or test wants to know about one SDE run."""
+
+    def __init__(self, engine: "SDEEngine") -> None:
+        self.algorithm = engine.mapper.name
+        self.aborted = engine.aborted
+        self.abort_reason = engine.abort_reason
+        self.runtime_seconds = engine.stats.elapsed()
+        self.events_executed = engine.events_executed
+        self.instructions = engine.executor.instructions_executed
+        self.total_states = len(engine.states)
+        self.active_states = sum(
+            1 for s in engine.states.values() if s.is_active()
+        )
+        self.error_states = [
+            s for s in engine.states.values() if s.status == Status.ERROR
+        ]
+        self.group_count = engine.mapper.group_count()
+        self.mapping_stats = engine.mapper.stats.as_dict()
+        self.solver_queries = engine.solver.queries
+        self.samples: List[Sample] = list(engine.stats.samples)
+        self.virtual_ms = engine.clock.now
+        self.accounted_bytes = (
+            self.samples[-1].accounted_bytes if self.samples else 0
+        )
+
+    def peak_states(self) -> int:
+        return max((s.total_states for s in self.samples), default=self.total_states)
+
+    def peak_accounted_bytes(self) -> int:
+        return max((s.accounted_bytes for s in self.samples), default=0)
+
+    def summary(self) -> str:
+        status = "ABORTED" if self.aborted else "completed"
+        lines = [
+            f"[{self.algorithm}] {status} after {self.runtime_seconds:.2f}s"
+            + (f" ({self.abort_reason})" if self.aborted else ""),
+            f"  virtual time     : {self.virtual_ms} ms",
+            f"  events executed  : {self.events_executed}",
+            f"  instructions     : {self.instructions}",
+            f"  states (total)   : {self.total_states}",
+            f"  dscenarios/dstates: {self.group_count}",
+            f"  accounted memory : {self.accounted_bytes / 1e6:.2f} MB",
+            f"  error states     : {len(self.error_states)}",
+            f"  solver queries   : {self.solver_queries}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunReport({self.algorithm}, states={self.total_states},"
+            f" groups={self.group_count}, aborted={self.aborted})"
+        )
+
+
+class SDEEngine:
+    """Symbolic distributed execution of one scenario."""
+
+    def __init__(
+        self,
+        program: Union[str, CompiledProgram],
+        topology: Topology,
+        mapper: StateMapper,
+        horizon_ms: int,
+        failure_models: Sequence[FailureModel] = (),
+        preset_globals: Optional[Dict[str, PresetValue]] = None,
+        latency_ms: int = 1,
+        solver: Optional[Solver] = None,
+        boot_times: Optional[Sequence[int]] = None,
+        max_states: Optional[int] = None,
+        max_accounted_bytes: Optional[int] = None,
+        max_wall_seconds: Optional[float] = None,
+        check_invariants: bool = False,
+        sample_every_events: int = 64,
+        max_steps_per_event: int = 1_000_000,
+    ) -> None:
+        if isinstance(program, str):
+            program = compile_source(program)
+        self.program = program
+        self.topology = topology
+        self.mapper = mapper
+        self.medium = Medium(topology, latency_ms)
+        self.clock = VirtualClock(horizon_ms)
+        self.solver = solver if solver is not None else Solver()
+        self.executor = Executor(
+            program,
+            self.solver,
+            host=NodeOS(self),
+            max_steps_per_event=max_steps_per_event,
+        )
+        self.failure_models = list(failure_models)
+        self.preset_globals = dict(preset_globals or {})
+        self.boot_times = (
+            list(boot_times)
+            if boot_times is not None
+            else [0] * topology.node_count
+        )
+        if len(self.boot_times) != topology.node_count:
+            raise ValueError("boot_times must list one time per node")
+        self.max_states = max_states
+        self.max_accounted_bytes = max_accounted_bytes
+        self.max_wall_seconds = max_wall_seconds
+        self.check_invariants = check_invariants
+
+        self.states: Dict[int, ExecutionState] = {}
+        self.packets: Dict[int, Packet] = {}  # pid -> packet (for reports)
+        self.scheduler: EventQueue[int] = EventQueue()
+        self.events_executed = 0
+        self.aborted = False
+        self.abort_reason = ""
+        self._broadcast_ids = itertools.count(1)
+        self._started = False
+        self.stats = StatsRecorder(
+            len(program.code), sample_every_events=sample_every_events
+        )
+        mapper.bind(self._register_state)
+
+    # -- EngineServices (used by NodeOS) ---------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self.topology.node_count
+
+    def guest_unicast(
+        self, sender: ExecutionState, dest: int, payload: List[CellValue]
+    ) -> None:
+        from ..vm.syscalls import SyscallAbort
+
+        if dest == sender.node:
+            raise SyscallAbort("unicast to self")
+        for node in self.medium.unicast_targets(sender.node, dest):
+            self._transmit(sender, node, payload, broadcast_id=0)
+
+    def guest_broadcast(
+        self, sender: ExecutionState, payload: List[CellValue]
+    ) -> None:
+        broadcast_id = next(self._broadcast_ids)
+        # Broadcast = a series of unicasts to every neighbour (footnote 1).
+        for node in self.medium.broadcast_targets(sender.node):
+            self._transmit(sender, node, payload, broadcast_id)
+
+    def _transmit(
+        self,
+        sender: ExecutionState,
+        dest_node: int,
+        payload: List[CellValue],
+        broadcast_id: int,
+    ) -> None:
+        packet = Packet(
+            sender.node, dest_node, tuple(payload), sender.clock, broadcast_id
+        )
+        self.packets[packet.pid] = packet
+        receivers = self.mapper.map_transmission(sender, dest_node)
+        sender.record_sent(packet.pid, dest_node)
+        deliver_at = self.medium.delivery_time(sender.clock)
+        for receiver in receivers:
+            receiver.record_received(packet.pid, sender.node)
+            receiver.push_event(deliver_at, Event.RECV, packet)
+            self._schedule(receiver)
+
+    # -- setup --------------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Create the k boot states, preset globals, schedule boot events."""
+        if self._started:
+            raise RuntimeError("engine already set up")
+        self._started = True
+        initial: List[ExecutionState] = []
+        for node in self.topology.nodes():
+            state = self.executor.make_initial_state(node)
+            self._apply_presets(state)
+            state.push_event(self.boot_times[node], Event.BOOT, None)
+            initial.append(state)
+            self.states[state.sid] = state
+        self.mapper.register_initial(initial)
+        for state in initial:
+            self._schedule(state)
+
+    def _apply_presets(self, state: ExecutionState) -> None:
+        for name, preset in self.preset_globals.items():
+            if name not in self.program.globals_layout:
+                raise KeyError(f"program has no global {name!r} to preset")
+            address, size = self.program.globals_layout[name]
+            value = preset.get(state.node, 0) if isinstance(preset, dict) else preset
+            if size != 1:
+                raise ValueError(f"cannot preset array global {name!r}")
+            state.memory[address] = value & 0xFFFFFFFF
+
+    # -- the main loop ------------------------------------------------------------------
+
+    def run(self) -> RunReport:
+        if not self._started:
+            self.setup()
+        while True:
+            entry = self.scheduler.pop(self._entry_valid)
+            if entry is None:
+                break  # no runnable state left
+            event_time, sid = entry
+            if self.clock.expired(event_time):
+                break  # simulation horizon reached
+            state = self.states[sid]
+            event = state.pop_event()
+            self.clock.advance_to(event_time)
+            state.clock = event_time
+            self._dispatch(state, event)
+            self.events_executed += 1
+            if self.stats.should_sample(self.events_executed):
+                self._sample_and_check_caps()
+            if self.check_invariants:
+                self.mapper.check_invariants()
+            if self.aborted:
+                break
+        self._sample_and_check_caps(force=True)
+        return RunReport(self)
+
+    def _entry_valid(self, event_time: int, sid: int) -> bool:
+        state = self.states.get(sid)
+        return (
+            state is not None
+            and state.status == Status.IDLE
+            and state.peek_event_time() == event_time
+        )
+
+    def _schedule(self, state: ExecutionState) -> None:
+        if state.status == Status.IDLE and state.events:
+            self.scheduler.push(state.peek_event_time(), state.sid)
+
+    def _register_state(self, state: ExecutionState) -> None:
+        """Spawn callback for mappers and failure models."""
+        self.states[state.sid] = state
+        self._schedule(state)
+
+    # -- event dispatch --------------------------------------------------------------------
+
+    def _dispatch(self, state: ExecutionState, event: Event) -> None:
+        if event.kind == Event.BOOT:
+            self._run_handler(state, HANDLER_BOOT, ())
+        elif event.kind == Event.TIMER:
+            if NodeOS.timer_event_is_live(state, event) and self.program.has_handler(
+                HANDLER_TIMER
+            ):
+                self._run_handler(state, HANDLER_TIMER, (event.data,))
+            else:
+                self._schedule(state)  # stale timer: just keep going
+        elif event.kind == Event.RECV:
+            self._dispatch_reception(state, event.data)
+        else:  # pragma: no cover - exhaustive over event kinds
+            raise AssertionError(f"unknown event kind {event.kind!r}")
+
+    def _run_handler(
+        self, state: ExecutionState, handler: str, args: Tuple[int, ...]
+    ) -> List[ExecutionState]:
+        if not self.program.has_handler(handler):
+            self._schedule(state)
+            return [state]
+        results = self.executor.run_event(
+            state, handler, args, on_fork=self._on_local_fork
+        )
+        for result in results:
+            self.states.setdefault(result.sid, result)
+            self._schedule(result)
+        return results
+
+    def _on_local_fork(
+        self, parent: ExecutionState, children: List[ExecutionState]
+    ) -> None:
+        for child in children:
+            self.states[child.sid] = child
+        self.mapper.on_local_fork(parent, children)
+
+    def _dispatch_reception(self, state: ExecutionState, packet: Packet) -> None:
+        # Failure models first: they may fork the state (symbolic drop /
+        # duplicate / reboot decisions).  Those forks are node-local
+        # branches: COB reacts by forking dscenarios.
+        plans = [(state, 1, False)]
+        for model in self.failure_models:
+            plans, forks = model.apply(plans, packet)
+            for parent, twin in forks:
+                self._register_state(twin)
+                self.mapper.on_local_fork(parent, [twin])
+        for variant, deliveries, reboot in plans:
+            if reboot:
+                self._reboot(variant)
+            elif deliveries == 0:
+                self._schedule(variant)  # packet dropped: nothing to run
+            else:
+                self._deliver_to_handler(variant, packet, deliveries)
+
+    def _deliver_to_handler(
+        self, state: ExecutionState, packet: Packet, deliveries: int
+    ) -> None:
+        wave = [state]
+        for _ in range(deliveries):
+            next_wave: List[ExecutionState] = []
+            for current in wave:
+                if not current.is_active():
+                    continue
+                current.current_packet = packet
+                results = self._run_handler(
+                    current, HANDLER_RECV, (packet.src, len(packet))
+                )
+                for result in results:
+                    result.current_packet = None
+                    next_wave.append(result)
+            wave = next_wave
+
+    def _reboot(self, state: ExecutionState) -> None:
+        """Crash-and-reboot: wipe RAM, cancel timers, re-run on_boot."""
+        state.memory = [0] * self.program.memory_size
+        for address, value in self.program.initializers:
+            state.memory[address] = value & 0xFFFFFFFF
+        self._apply_presets(state)
+        for timer_id in list(state.timer_generations):
+            state.timer_generations[timer_id] += 1
+        state.push_event(state.clock, Event.BOOT, None)
+        self._schedule(state)
+
+    # -- sampling & caps -------------------------------------------------------------------------
+
+    def _sample_and_check_caps(self, force: bool = False) -> Optional[Sample]:
+        sample = self.stats.record(
+            self.states.values(),
+            self.clock.now,
+            self.events_executed,
+            self.mapper.group_count(),
+        )
+        if self.aborted:
+            return sample
+        if self.max_states is not None and sample.total_states > self.max_states:
+            self._abort(f"state cap exceeded ({sample.total_states}"
+                        f" > {self.max_states})")
+        elif (
+            self.max_accounted_bytes is not None
+            and sample.accounted_bytes > self.max_accounted_bytes
+        ):
+            self._abort(
+                f"memory cap exceeded ({sample.accounted_bytes}"
+                f" > {self.max_accounted_bytes} bytes)"
+            )
+        elif (
+            self.max_wall_seconds is not None
+            and self.stats.elapsed() > self.max_wall_seconds
+        ):
+            self._abort(f"wall-clock cap exceeded ({self.max_wall_seconds}s)")
+        return sample
+
+    def _abort(self, reason: str) -> None:
+        # Mirrors the paper's Table I: "COB ... aborted" at the memory cap.
+        self.aborted = True
+        self.abort_reason = reason
+
+    # -- conveniences for tests/examples ------------------------------------------------------------
+
+    def states_of_node(self, node: int) -> List[ExecutionState]:
+        return [s for s in self.states.values() if s.node == node]
+
+    def state_census(self) -> Dict[int, int]:
+        """States per node — the quickest way to see where growth happens
+        (on-path nodes and their overhearing neighbours dominate)."""
+        census: Dict[int, int] = {node: 0 for node in self.topology.nodes()}
+        for state in self.states.values():
+            census[state.node] += 1
+        return census
+
+    def error_states(self) -> List[ExecutionState]:
+        return [s for s in self.states.values() if s.status == Status.ERROR]
+
+    def total_accounted_bytes(self) -> int:
+        return sum(estimate_state_bytes(s) for s in self.states.values())

@@ -1,0 +1,80 @@
+"""Communication histories and conflict detection (paper Section II-B).
+
+The communication history of a state is the sequence of packets it sent or
+received.  Two states are in *direct conflict* when their histories
+contradict: one sent a packet to the other's node that the other never
+received, or one received a packet from the other's node that the other
+never sent.
+
+The mapping algorithms never consult histories (the paper: "The
+communication history is not required to be stored: it is simply a construct
+to find a solution for the state mapping problem") — but this reproduction
+stores them anyway because they power the invariant checks in the test
+suite: every dstate must be pairwise conflict-free at all times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..vm.state import ExecutionState
+
+__all__ = [
+    "sent_to",
+    "received_from",
+    "in_direct_conflict",
+    "conflict_free",
+    "find_conflicts",
+]
+
+
+def sent_to(state: ExecutionState, node: int) -> Set[int]:
+    """Packet ids ``state`` sent whose destination node is ``node``."""
+    return {
+        pid
+        for kind, pid, peer in state.history
+        if kind == "tx" and peer == node
+    }
+
+
+def received_from(state: ExecutionState, node: int) -> Set[int]:
+    """Packet ids ``state`` received that originated at ``node``."""
+    return {
+        pid
+        for kind, pid, peer in state.history
+        if kind == "rx" and peer == node
+    }
+
+
+def in_direct_conflict(a: ExecutionState, b: ExecutionState) -> bool:
+    """Direct conflict per the paper's definition (Section II-B).
+
+    Only defined for states of *different* nodes; two states of the same
+    node conflict iff their histories differ at all (they cannot coexist in
+    one dscenario anyway, but dstates allow them when histories agree).
+    """
+    if a.node == b.node:
+        return a.history != b.history
+    if sent_to(a, b.node) != received_from(b, a.node):
+        return True
+    if sent_to(b, a.node) != received_from(a, b.node):
+        return True
+    return False
+
+
+def conflict_free(states: Iterable[ExecutionState]) -> bool:
+    """Are all pairs of ``states`` free of direct conflicts?"""
+    return not find_conflicts(states)
+
+
+def find_conflicts(
+    states: Iterable[ExecutionState],
+) -> List[Tuple[ExecutionState, ExecutionState]]:
+    """All directly conflicting pairs (diagnostics for invariant failures)."""
+    states = list(states)
+    conflicts = []
+    for i, a in enumerate(states):
+        for b in states[i + 1 :]:
+            if in_direct_conflict(a, b):
+                conflicts.append((a, b))
+    return conflicts

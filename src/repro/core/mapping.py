@@ -1,0 +1,119 @@
+"""The state-mapping interface (paper Section III).
+
+A :class:`StateMapper` answers the *state mapping problem*: when a state
+transmits a packet, which states of the destination node receive it — and
+which states must be forked so that no represented distributed scenario
+mixes contradictory communication histories.
+
+The engine is algorithm-agnostic; COB, COW and SDS plug in behind this
+interface, which is the paper's portability claim ("the presented approach
+can be easily transferred to any other symbolic execution engine"):
+
+- :meth:`register_initial` — the k boot states, one per node;
+- :meth:`on_local_fork` — a state forked on a node-local symbolic branch
+  (COB maps here);
+- :meth:`map_transmission` — a state is about to send a packet
+  (COW and SDS map here); returns the receiving states.
+
+Mappers create states only by forking existing ones and must report every
+new state through the ``spawn`` callback so the engine can schedule it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..vm.state import ExecutionState
+
+__all__ = ["StateMapper", "MappingStats", "MappingError"]
+
+SpawnCallback = Callable[[ExecutionState], None]
+
+
+class MappingError(Exception):
+    """Internal invariant of a mapping algorithm was violated."""
+
+
+class MappingStats:
+    """Counters every mapper maintains; benchmarks report them."""
+
+    __slots__ = (
+        "transmissions",
+        "local_forks",
+        "mapping_forks",
+        "bystander_duplicates",
+        "virtual_forks",
+    )
+
+    def __init__(self) -> None:
+        #: transmissions routed through map_transmission
+        self.transmissions = 0
+        #: states created because of node-local branches (COB only)
+        self.local_forks = 0
+        #: states created by map_transmission (targets + bystanders)
+        self.mapping_forks = 0
+        #: of those, pure duplicates (bystander copies; SDS: always 0)
+        self.bystander_duplicates = 0
+        #: virtual states created (SDS only)
+        self.virtual_forks = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"MappingStats({inner})"
+
+
+class StateMapper:
+    """Base class for the three algorithms."""
+
+    #: short identifier used in reports ("cob" / "cow" / "sds")
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = MappingStats()
+        self._spawn: Optional[SpawnCallback] = None
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind(self, spawn: SpawnCallback) -> None:
+        """Install the engine callback used to register forked states."""
+        self._spawn = spawn
+
+    def spawn(self, state: ExecutionState) -> None:
+        if self._spawn is None:
+            raise MappingError("mapper not bound to an engine")
+        self._spawn(state)
+
+    # -- the algorithm interface ----------------------------------------------------
+
+    def register_initial(self, states: Sequence[ExecutionState]) -> None:
+        raise NotImplementedError
+
+    def on_local_fork(
+        self, parent: ExecutionState, children: List[ExecutionState]
+    ) -> None:
+        raise NotImplementedError
+
+    def map_transmission(
+        self, sender: ExecutionState, dest_node: int
+    ) -> List[ExecutionState]:
+        raise NotImplementedError
+
+    # -- introspection (benchmarks, tests) ---------------------------------------------
+
+    def group_count(self) -> int:
+        """Number of dscenarios (COB) / dstates (COW, SDS)."""
+        raise NotImplementedError
+
+    def groups(self) -> Iterable[Dict[int, List[ExecutionState]]]:
+        """Each group as a node -> states mapping (states, not virtuals)."""
+        raise NotImplementedError
+
+    def check_invariants(self) -> None:
+        """Raise MappingError if internal structure is inconsistent.
+
+        Called by tests after every engine step; not used in benchmarks.
+        """
+        raise NotImplementedError

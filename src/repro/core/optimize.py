@@ -1,0 +1,154 @@
+"""The Section III-D equal-packet optimization, as a measurement tool.
+
+The paper sketches a further optimization over SDS: "one could, for
+example, observe equal packets based on content, time stamp, and constraint
+analysis.  If such packets are originating from a sending state and all its
+rivals, the state mapping can be safely omitted, further saving
+duplicates."  It deliberately leaves this out of SDS proper ("adds
+additional complexity ... interception and buffering of a number of
+transmitted packets").
+
+We follow the paper in not changing the mapping semantics — packets stay
+unique and target forks stay as they are — but implement the *analysis*:
+given a finished run, find groups of transmissions that an equal-packet
+optimizer could have merged, and from them the number of target forks (and
+therefore states) it would have saved.  The ablation benchmark reports
+these attainable savings for the paper's scenarios.
+
+A merge group is a set of transmissions that:
+
+- carry identical payloads and identical send timestamps to the same
+  destination node (content + time-stamp analysis), and
+- originate from same-node sibling states (a sending state and its rivals —
+  detected via fork ancestry, the practical stand-in for the paper's
+  "constraint analysis").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Tuple
+
+from ..net.packet import Packet
+from ..vm.state import ExecutionState
+
+__all__ = ["MergeGroup", "OptimizationReport", "analyze_equal_packets"]
+
+
+class MergeGroup:
+    """Transmissions an equal-packet optimizer could merge into one."""
+
+    __slots__ = ("key", "packet_ids", "sender_sids")
+
+    def __init__(
+        self, key: tuple, packet_ids: List[int], sender_sids: List[int]
+    ) -> None:
+        self.key = key
+        self.packet_ids = packet_ids
+        self.sender_sids = sender_sids
+
+    def mergeable_transmissions(self) -> int:
+        """Transmissions beyond the first; each one's mapping could be
+        omitted entirely."""
+        return len(self.packet_ids) - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"MergeGroup({len(self.packet_ids)} equal packets from"
+            f" {len(self.sender_sids)} sibling senders)"
+        )
+
+
+class OptimizationReport:
+    """Aggregate attainable savings for one finished run."""
+
+    def __init__(
+        self,
+        groups: List[MergeGroup],
+        total_transmissions: int,
+        total_mapping_forks: int,
+    ) -> None:
+        self.groups = groups
+        self.total_transmissions = total_transmissions
+        self.total_mapping_forks = total_mapping_forks
+        self.mergeable_transmissions = sum(
+            group.mergeable_transmissions() for group in groups
+        )
+
+    def savings_fraction(self) -> float:
+        """Fraction of all transmissions whose mapping could be omitted."""
+        if not self.total_transmissions:
+            return 0.0
+        return self.mergeable_transmissions / self.total_transmissions
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizationReport({self.mergeable_transmissions}/"
+            f"{self.total_transmissions} transmissions mergeable,"
+            f" {len(self.groups)} groups)"
+        )
+
+
+def _fork_root(state: ExecutionState, parents: Mapping[int, int]) -> int:
+    """Walk fork ancestry to the oldest known ancestor sid."""
+    sid = state.sid
+    while sid in parents:
+        sid = parents[sid]
+    return sid
+
+
+def analyze_equal_packets(
+    states: Mapping[int, ExecutionState],
+    packets: Mapping[int, Packet],
+) -> OptimizationReport:
+    """Post-hoc equal-packet analysis of a finished engine run.
+
+    ``states``/``packets`` are the engine's registries
+    (``engine.states`` / ``engine.packets``).
+    """
+    # Fork ancestry: sid -> parent sid (as recorded at fork time).
+    parents: Dict[int, int] = {
+        state.sid: state.forked_from
+        for state in states.values()
+        if state.forked_from is not None
+    }
+
+    # Which state sent which packet (from the tx histories).
+    sender_of: Dict[int, ExecutionState] = {}
+    for state in states.values():
+        for kind, pid, _peer in state.history:
+            if kind == "tx":
+                # The *earliest* state in fork order that logged the tx is
+                # the actual sender; later forks inherit the history entry.
+                current = sender_of.get(pid)
+                if current is None or state.sid < current.sid:
+                    sender_of[pid] = state
+
+    buckets: Dict[tuple, List[int]] = defaultdict(list)
+    for pid, packet in packets.items():
+        sender = sender_of.get(pid)
+        if sender is None:
+            continue
+        key = (
+            packet.src,
+            packet.dest,
+            packet.sent_at,
+            packet.payload,
+            _fork_root(sender, parents),
+        )
+        buckets[key].append(pid)
+
+    groups: List[MergeGroup] = []
+    for key, pids in sorted(buckets.items(), key=lambda kv: kv[1][0]):
+        if len(pids) < 2:
+            continue
+        senders = sorted({sender_of[pid].sid for pid in pids})
+        if len(senders) < 2:
+            continue  # same state sent twice (e.g. duplication model)
+        groups.append(MergeGroup(key, sorted(pids), senders))
+
+    total_transmissions = len(packets)
+    total_mapping_forks = sum(
+        1 for s in states.values() if s.forked_from is not None
+    )
+    return OptimizationReport(groups, total_transmissions, total_mapping_forks)

@@ -1,0 +1,99 @@
+"""Deterministic replay of distributed test cases.
+
+The point of test-case generation (paper Section I: "concrete inputs and
+deterministic schedules to analyze erroneous program paths") is that a
+developer can re-run the exact failing scenario without any symbolic
+machinery.  :func:`replay_testcase` does that: it re-runs a scenario with
+every symbolic failure decision *forced* to the concrete value the solver
+chose, so the engine never forks — one state per node, one deterministic
+schedule, same defect.
+
+Forcing works by replacing each failure model with a
+:class:`ForcedFailureModel` that consults the test case's assignment for
+the decision variable the original model *would* have created (the
+variable naming is deterministic: ``n<node>.<tag><seq>``), and applies the
+failure concretely instead of forking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..net.failures import DeliveryPlan, FailureModel
+from ..net.packet import Packet
+from ..vm.state import ExecutionState
+from .engine import RunReport
+from .scenario import Scenario, build_engine
+from .testcase import DistributedTestCase
+
+__all__ = ["ForcedFailureModel", "replay_testcase", "replay_assignments"]
+
+
+class ForcedFailureModel(FailureModel):
+    """Wraps a failure model, replaying concrete decisions instead of
+    forking."""
+
+    def __init__(
+        self, original: FailureModel, assignments: Mapping[str, int]
+    ) -> None:
+        super().__init__(
+            original.nodes, original.budget, original.packet_filter
+        )
+        self.tag = original.tag
+        self._failed_plan_of = original._failed_plan
+        self._assignments = assignments
+
+    def apply(
+        self, plans: List[DeliveryPlan], packet: Packet
+    ) -> Tuple[List[DeliveryPlan], List[Tuple[ExecutionState, ExecutionState]]]:
+        out: List[DeliveryPlan] = []
+        for state, deliveries, reboot in plans:
+            if reboot or deliveries == 0 or not self.applies(state, packet):
+                out.append((state, deliveries, reboot))
+                continue
+            # Consume the decision exactly like the symbolic run did, so
+            # later decisions get the same variable names.
+            name = state.fresh_symbol_name(self.tag)
+            decision = self._assignments.get(name, 0)
+            if decision:
+                out.append(self._failed_plan_of(state, deliveries))
+            else:
+                out.append((state, deliveries, reboot))
+        return out, []  # never forks
+
+
+def replay_assignments(
+    scenario: Scenario,
+    assignments: Mapping[str, int],
+    algorithm: str = "sds",
+) -> RunReport:
+    """Re-run ``scenario`` with all failure decisions pinned concretely."""
+    original_factory = scenario.failure_factory
+
+    def forced_factory():
+        return [
+            ForcedFailureModel(model, assignments)
+            for model in original_factory()
+        ]
+
+    engine = build_engine(
+        scenario, algorithm, failure_models=list(forced_factory())
+    )
+    return engine.run()
+
+
+def replay_testcase(
+    scenario: Scenario,
+    testcase: DistributedTestCase,
+    algorithm: str = "sds",
+) -> RunReport:
+    """Replay one distributed test case; returns the concrete run's report.
+
+    The replayed run is deterministic: if the guest program itself contains
+    no ``symbolic()`` inputs, it never forks (one state per node), and any
+    defect in the test case's dscenario reappears at the same node and
+    virtual time.
+    """
+    if not testcase.feasible:
+        raise ValueError("cannot replay an infeasible test case")
+    return replay_assignments(scenario, testcase.assignments, algorithm)

@@ -1,0 +1,115 @@
+"""Scenario configuration — the public entry point for running SDE.
+
+A :class:`Scenario` bundles everything an SDE run needs (guest program,
+topology, horizon, failure configuration, presets); :func:`run_scenario`
+executes it under a chosen state-mapping algorithm.  KleeNet is configured
+"using a configuration file" — Scenario is that file as a Python object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..lang.bytecode import CompiledProgram
+from ..lang.compiler import compile_source
+from ..net.failures import FailureModel
+from ..net.topology import Topology
+from ..solver import Solver
+from .cob import COBMapper
+from .cow import COWMapper
+from .engine import PresetValue, RunReport, SDEEngine
+from .mapping import StateMapper
+from .sds import SDSMapper
+
+__all__ = ["Scenario", "make_mapper", "build_engine", "run_scenario", "ALGORITHMS"]
+
+ALGORITHMS = ("cob", "cow", "sds")
+
+_MAPPERS: Dict[str, Callable[[], StateMapper]] = {
+    "cob": COBMapper,
+    "cow": COWMapper,
+    "sds": SDSMapper,
+}
+
+
+def make_mapper(algorithm: str) -> StateMapper:
+    """Instantiate a state-mapping algorithm by name ('cob'/'cow'/'sds')."""
+    try:
+        return _MAPPERS[algorithm]()
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        ) from None
+
+
+@dataclass
+class Scenario:
+    """A complete SDE test setup."""
+
+    name: str
+    program: Union[str, CompiledProgram]
+    topology: Topology
+    horizon_ms: int
+    #: factory producing fresh failure models per run (models hold no state,
+    #: but a factory keeps runs fully independent).
+    failure_factory: Callable[[], Sequence[FailureModel]] = tuple
+    preset_globals: Dict[str, PresetValue] = field(default_factory=dict)
+    latency_ms: int = 1
+    boot_times: Optional[List[int]] = None
+    max_states: Optional[int] = None
+    max_accounted_bytes: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
+    sample_every_events: int = 64
+
+    def compiled(self) -> CompiledProgram:
+        if isinstance(self.program, CompiledProgram):
+            return self.program
+        compiled = compile_source(self.program)
+        self.program = compiled  # compile once, reuse across runs
+        return compiled
+
+    @property
+    def node_count(self) -> int:
+        return self.topology.node_count
+
+
+def build_engine(
+    scenario: Scenario,
+    algorithm: str = "sds",
+    check_invariants: bool = False,
+    solver: Optional[Solver] = None,
+    **overrides,
+) -> SDEEngine:
+    """Construct (but do not run) an engine for ``scenario``."""
+    params = dict(
+        program=scenario.compiled(),
+        topology=scenario.topology,
+        mapper=make_mapper(algorithm),
+        horizon_ms=scenario.horizon_ms,
+        failure_models=list(scenario.failure_factory()),
+        preset_globals=scenario.preset_globals,
+        latency_ms=scenario.latency_ms,
+        boot_times=scenario.boot_times,
+        max_states=scenario.max_states,
+        max_accounted_bytes=scenario.max_accounted_bytes,
+        max_wall_seconds=scenario.max_wall_seconds,
+        sample_every_events=scenario.sample_every_events,
+        check_invariants=check_invariants,
+        solver=solver if solver is not None else Solver(),
+    )
+    params.update(overrides)
+    return SDEEngine(**params)
+
+
+def run_scenario(
+    scenario: Scenario,
+    algorithm: str = "sds",
+    check_invariants: bool = False,
+    **overrides,
+) -> RunReport:
+    """Run ``scenario`` under ``algorithm`` and return the report."""
+    engine = build_engine(
+        scenario, algorithm, check_invariants=check_invariants, **overrides
+    )
+    return engine.run()

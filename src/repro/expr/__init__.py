@@ -1,0 +1,90 @@
+"""Symbolic expression layer: fixed-width bitvector + boolean DAG.
+
+Public surface:
+
+- node classes and sort helpers from :mod:`repro.expr.ast`
+- smart constructors from :mod:`repro.expr.builder` (the sanctioned way to
+  build expressions)
+- :func:`repro.expr.evaluate.evaluate` for concrete evaluation
+- :class:`repro.expr.interval.Interval` and forward interval evaluation
+- pretty/SMT-LIB printers
+"""
+
+from .ast import (  # noqa: F401
+    BV_BINARY_OPS,
+    BV_UNARY_OPS,
+    CMP_OPS,
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVBinary,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtend,
+    BVExtract,
+    BVIte,
+    BVUnary,
+    BVVar,
+    Cmp,
+    Expr,
+    clear_intern_cache,
+    intern_stats,
+    mask,
+    to_signed,
+    to_unsigned,
+)
+from .builder import (  # noqa: F401
+    add,
+    and_,
+    as_bv,
+    ashr,
+    bool_const,
+    bv,
+    bvand,
+    bvnot,
+    bvor,
+    bvxor,
+    concat,
+    eq,
+    extract,
+    false,
+    implies,
+    ite,
+    lshr,
+    mul,
+    ne,
+    neg,
+    not_,
+    or_,
+    sdiv,
+    sext,
+    sge,
+    sgt,
+    shl,
+    sle,
+    slt,
+    srem,
+    sub,
+    true,
+    truncate,
+    udiv,
+    uge,
+    ugt,
+    ule,
+    ult,
+    urem,
+    var,
+    zext,
+)
+from .evaluate import EvalError, evaluate  # noqa: F401
+from .interval import (  # noqa: F401
+    Interval,
+    cmp_verdict,
+    cond_verdict,
+    interval_eval,
+    signed_extrema,
+)
+from .printer import pretty, smtlib_script, to_smtlib  # noqa: F401

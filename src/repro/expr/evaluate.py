@@ -1,0 +1,148 @@
+"""Concrete evaluation of expressions under a variable assignment.
+
+Used for three things: checking candidate models in the solver, replaying
+generated test cases, and as the ground-truth oracle in property-based tests
+(a simplification is correct iff it evaluates identically for all tested
+assignments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from .ast import (
+    BVBinary,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtend,
+    BVExtract,
+    BVIte,
+    BVUnary,
+    BVVar,
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Expr,
+    mask,
+    to_signed,
+)
+
+__all__ = ["evaluate", "EvalError"]
+
+
+class EvalError(Exception):
+    """Raised when an expression references an unassigned variable."""
+
+
+def _sdiv(a: int, b: int, w: int) -> int:
+    as_, bs = to_signed(a, w), to_signed(b, w)
+    if bs == 0:
+        return mask(w)
+    q = abs(as_) // abs(bs)
+    if (as_ < 0) != (bs < 0):
+        q = -q
+    return q & mask(w)
+
+
+def _srem(a: int, b: int, w: int) -> int:
+    as_, bs = to_signed(a, w), to_signed(b, w)
+    if bs == 0:
+        return a
+    r = abs(as_) % abs(bs)
+    if as_ < 0:
+        r = -r
+    return r & mask(w)
+
+
+_BINARY = {
+    "add": lambda a, b, w: (a + b) & mask(w),
+    "sub": lambda a, b, w: (a - b) & mask(w),
+    "mul": lambda a, b, w: (a * b) & mask(w),
+    "udiv": lambda a, b, w: mask(w) if b == 0 else a // b,
+    "urem": lambda a, b, w: a if b == 0 else a % b,
+    "sdiv": _sdiv,
+    "srem": _srem,
+    "bvand": lambda a, b, w: a & b,
+    "bvor": lambda a, b, w: a | b,
+    "bvxor": lambda a, b, w: a ^ b,
+    "shl": lambda a, b, w: 0 if b >= w else (a << b) & mask(w),
+    "lshr": lambda a, b, w: 0 if b >= w else a >> b,
+    "ashr": lambda a, b, w: (to_signed(a, w) >> min(b, w - 1)) & mask(w),
+}
+
+_CMP = {
+    "eq": lambda a, b, w: a == b,
+    "ne": lambda a, b, w: a != b,
+    "ult": lambda a, b, w: a < b,
+    "ule": lambda a, b, w: a <= b,
+    "slt": lambda a, b, w: to_signed(a, w) < to_signed(b, w),
+    "sle": lambda a, b, w: to_signed(a, w) <= to_signed(b, w),
+}
+
+
+def evaluate(expr: Expr, env: Dict[str, int]) -> Union[int, bool]:
+    """Evaluate ``expr`` under ``env`` (variable name -> unsigned value).
+
+    Returns an unsigned int for bitvector expressions and a bool for boolean
+    expressions.  Iterative post-order traversal: guest programs can build
+    deep expression chains (e.g. repeatedly incremented counters) that would
+    overflow Python's recursion limit.
+    """
+    cache: Dict[int, Union[int, bool]] = {}
+    stack = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        key = id(node)
+        if key in cache:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for child in node.children():
+                if id(child) not in cache:
+                    stack.append((child, False))
+            continue
+        cache[key] = _eval_node(node, env, cache)
+    return cache[id(expr)]
+
+
+def _eval_node(node: Expr, env: Dict[str, int], cache: Dict[int, Union[int, bool]]):
+    if isinstance(node, BVConst):
+        return node.value
+    if isinstance(node, BVVar):
+        try:
+            return env[node.name] & mask(node.width)
+        except KeyError:
+            raise EvalError(f"unassigned variable {node.name!r}") from None
+    if isinstance(node, BVBinary):
+        return _BINARY[node.op](cache[id(node.left)], cache[id(node.right)], node.width)
+    if isinstance(node, BVUnary):
+        val = cache[id(node.operand)]
+        if node.op == "neg":
+            return (-val) & mask(node.width)
+        return (~val) & mask(node.width)
+    if isinstance(node, Cmp):
+        return _CMP[node.op](cache[id(node.left)], cache[id(node.right)], node.left.width)
+    if isinstance(node, BVIte):
+        return cache[id(node.then)] if cache[id(node.cond)] else cache[id(node.orelse)]
+    if isinstance(node, BVExtract):
+        return (cache[id(node.operand)] >> node.low) & mask(node.width)
+    if isinstance(node, BVExtend):
+        val = cache[id(node.operand)]
+        if node.signed:
+            return to_signed(val, node.operand.width) & mask(node.width)
+        return val
+    if isinstance(node, BVConcat):
+        return (cache[id(node.high)] << node.low_part.width) | cache[id(node.low_part)]
+    if isinstance(node, BoolConst):
+        return node.value
+    if isinstance(node, BoolNot):
+        return not cache[id(node.operand)]
+    if isinstance(node, BoolAnd):
+        return all(cache[id(op)] for op in node.operands)
+    if isinstance(node, BoolOr):
+        return any(cache[id(op)] for op in node.operands)
+    raise TypeError(f"unknown expression node {type(node).__name__}")

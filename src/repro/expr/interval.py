@@ -1,0 +1,406 @@
+"""Unsigned interval abstract domain for bitvector expressions.
+
+The solver (:mod:`repro.solver`) narrows variable domains with interval
+reasoning before falling back to search.  An :class:`Interval` is a closed
+range ``[lo, hi]`` of *unsigned* values of a fixed width; the empty interval
+signals infeasibility.
+
+Forward evaluation (:func:`interval_eval`) computes a sound over-approximation
+of an expression's value set from variable intervals.  Backward narrowing
+(implemented in the solver's propagator) inverts these transfer functions to
+shrink operand intervals given a bound on the result.
+
+All transfer functions are *sound*: the concrete result of the operation on
+any values drawn from the operand intervals is contained in the returned
+interval.  They are not always precise (wrapping arithmetic collapses to
+top), which only costs search time, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .ast import (
+    BVBinary,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtend,
+    BVExtract,
+    BVIte,
+    BVUnary,
+    BVVar,
+    BoolAnd,
+    BoolConst,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    mask,
+    to_signed,
+)
+
+__all__ = [
+    "Interval",
+    "interval_eval",
+    "full",
+    "singleton",
+    "cmp_verdict",
+    "cond_verdict",
+    "signed_extrema",
+]
+
+
+class Interval:
+    """A closed unsigned range ``[lo, hi]``; ``lo > hi`` encodes empty."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Interval":
+        return Interval(1, 0)
+
+    @staticmethod
+    def top(width: int) -> "Interval":
+        return Interval(0, mask(width))
+
+    @staticmethod
+    def of(value: int) -> "Interval":
+        return Interval(value, value)
+
+    # -- predicates --------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    def is_singleton(self) -> bool:
+        return self.lo == self.hi
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def size(self) -> int:
+        return 0 if self.is_empty() else self.hi - self.lo + 1
+
+    # -- lattice operations ------------------------------------------------
+
+    def meet(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        if self.is_empty():
+            return hash(("interval", "empty"))
+        return hash(("interval", self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "[empty]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+def full(width: int) -> Interval:
+    return Interval.top(width)
+
+
+def singleton(value: int) -> Interval:
+    return Interval(value, value)
+
+
+# ---------------------------------------------------------------------------
+# Forward transfer functions
+# ---------------------------------------------------------------------------
+
+
+def _add(a: Interval, b: Interval, w: int) -> Interval:
+    lo, hi = a.lo + b.lo, a.hi + b.hi
+    if hi <= mask(w):
+        return Interval(lo, hi)
+    if lo > mask(w):  # both wrap exactly once
+        return Interval(lo - (mask(w) + 1), hi - (mask(w) + 1))
+    return Interval.top(w)
+
+
+def _sub(a: Interval, b: Interval, w: int) -> Interval:
+    lo, hi = a.lo - b.hi, a.hi - b.lo
+    if lo >= 0:
+        return Interval(lo, hi)
+    if hi < 0:  # both wrap exactly once
+        return Interval(lo + mask(w) + 1, hi + mask(w) + 1)
+    return Interval.top(w)
+
+
+def _mul(a: Interval, b: Interval, w: int) -> Interval:
+    hi = a.hi * b.hi
+    if hi <= mask(w):
+        return Interval(a.lo * b.lo, hi)
+    return Interval.top(w)
+
+
+def _udiv(a: Interval, b: Interval, w: int) -> Interval:
+    if b.lo == 0:
+        # The divisor range includes 0, whose SMT semantics is all-ones.
+        return Interval.top(w)
+    return Interval(a.lo // b.hi, a.hi // b.lo)
+
+
+def _urem(a: Interval, b: Interval, w: int) -> Interval:
+    if b.lo == 0:
+        return Interval(0, max(a.hi, b.hi))
+    if a.hi < b.lo:  # remainder is a no-op
+        return a
+    return Interval(0, min(a.hi, b.hi - 1))
+
+
+def _signed_range(a: Interval, w: int):
+    """Return (smin, smax) if the unsigned interval maps to one contiguous
+    signed range, else None (it straddles the sign wrap)."""
+    half = 1 << (w - 1)
+    if a.hi < half or a.lo >= half:
+        return to_signed(a.lo, w), to_signed(a.hi, w)
+    return None
+
+
+def _shl(a: Interval, b: Interval, w: int) -> Interval:
+    if b.hi >= w:
+        return Interval.top(w)
+    hi = a.hi << b.hi
+    if hi <= mask(w):
+        return Interval(a.lo << b.lo, hi)
+    return Interval.top(w)
+
+
+def _lshr(a: Interval, b: Interval, w: int) -> Interval:
+    hi_shift = min(b.hi, w)
+    return Interval(a.lo >> hi_shift, a.hi >> b.lo if b.lo < w else 0)
+
+
+def _bit_hi(a: Interval, b: Interval) -> int:
+    """Smallest all-ones bound covering both interval maxima."""
+    combined = a.hi | b.hi
+    out = 1
+    while out <= combined:
+        out <<= 1
+    return out - 1
+
+
+def interval_eval(
+    expr: BVExpr,
+    domains: Dict[BVVar, Interval],
+    cache: Optional[Dict[int, Interval]] = None,
+) -> Interval:
+    """Sound unsigned interval for ``expr`` given variable ``domains``.
+
+    Variables missing from ``domains`` get their full-width top interval.
+    ``cache`` (keyed by node identity) may be shared across calls within one
+    propagation round.
+    """
+    if cache is None:
+        cache = {}
+    stack = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in cache:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for child in node.children():
+                if not child.is_bool and id(child) not in cache:
+                    stack.append((child, False))
+            continue
+        cache[id(node)] = _forward(node, domains, cache)
+    return cache[id(expr)]
+
+
+def _forward(node: BVExpr, domains: Dict[BVVar, Interval], cache) -> Interval:
+    w = node.width
+    if isinstance(node, BVConst):
+        return Interval.of(node.value)
+    if isinstance(node, BVVar):
+        dom = domains.get(node)
+        return dom if dom is not None else Interval.top(w)
+    if isinstance(node, BVBinary):
+        a, b = cache[id(node.left)], cache[id(node.right)]
+        if a.is_empty() or b.is_empty():
+            return Interval.empty()
+        op = node.op
+        if op == "add":
+            return _add(a, b, w)
+        if op == "sub":
+            return _sub(a, b, w)
+        if op == "mul":
+            return _mul(a, b, w)
+        if op == "udiv":
+            return _udiv(a, b, w)
+        if op == "urem":
+            return _urem(a, b, w)
+        if op in ("sdiv", "srem"):
+            return Interval.top(w)
+        if op in ("bvand",):
+            return Interval(0, min(a.hi, b.hi))
+        if op in ("bvor", "bvxor"):
+            return Interval(a.lo if op == "bvor" else 0, _bit_hi(a, b))
+        if op == "shl":
+            return _shl(a, b, w)
+        if op == "lshr":
+            return _lshr(a, b, w)
+        if op == "ashr":
+            sa = _signed_range(a, w)
+            if sa is not None and sa[0] >= 0 and b.hi < w:
+                return Interval(a.lo >> b.hi, a.hi >> b.lo)
+            return Interval.top(w)
+        raise TypeError(f"unknown binary op {op}")
+    if isinstance(node, BVUnary):
+        a = cache[id(node.operand)]
+        if a.is_empty():
+            return Interval.empty()
+        if node.op == "neg":
+            return _sub(Interval.of(0), a, w)
+        # bvnot x == mask - x
+        return Interval(mask(w) - a.hi, mask(w) - a.lo)
+    if isinstance(node, BVIte):
+        # If the intervals decide the condition, only one branch is live —
+        # crucial for expressions like abs(x) = ite(x <s 0, -x, x), whose
+        # naive join is always top.
+        verdict = cond_verdict(node.cond, domains, cache)
+        if verdict is True:
+            return cache[id(node.then)]
+        if verdict is False:
+            return cache[id(node.orelse)]
+        return cache[id(node.then)].join(cache[id(node.orelse)])
+    if isinstance(node, BVExtract):
+        a = cache[id(node.operand)]
+        if a.is_empty():
+            return Interval.empty()
+        if node.low == 0 and a.hi <= mask(node.width):
+            return a
+        return Interval.top(node.width)
+    if isinstance(node, BVExtend):
+        a = cache[id(node.operand)]
+        if a.is_empty():
+            return Interval.empty()
+        if node.signed:
+            src = _signed_range(a, node.operand.width)
+            if src is not None and src[0] >= 0:
+                return a
+            return Interval.top(node.width)
+        return a
+    if isinstance(node, BVConcat):
+        high, low = cache[id(node.high)], cache[id(node.low_part)]
+        if high.is_empty() or low.is_empty():
+            return Interval.empty()
+        lw = node.low_part.width
+        return Interval((high.lo << lw) + low.lo, (high.hi << lw) + low.hi)
+    raise TypeError(f"unknown expression node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Boolean verdicts from intervals
+# ---------------------------------------------------------------------------
+
+
+def signed_extrema(interval: Interval, width: int):
+    """Signed (min, max) attained over an unsigned interval.
+
+    Unlike a naive reinterpretation this is defined for *straddling*
+    intervals too: an interval crossing the sign wrap attains the full
+    signed extremes of the values it covers.
+    """
+    half = 1 << (width - 1)
+    if interval.hi < half or interval.lo >= half:
+        return to_signed(interval.lo, width), to_signed(interval.hi, width)
+    # Straddles the wrap: both `half` (the most negative value) and
+    # `half - 1` (the most positive) are covered.
+    return -half, half - 1
+
+
+def cmp_verdict(op: str, left: Interval, right: Interval, width: int):
+    """Decide a comparison from operand intervals: True/False/None."""
+    if left.is_empty() or right.is_empty():
+        return None
+    if op == "eq":
+        if left.is_singleton() and right.is_singleton() and left.lo == right.lo:
+            return True
+        if left.meet(right).is_empty():
+            return False
+        return None
+    if op == "ne":
+        verdict = cmp_verdict("eq", left, right, width)
+        return None if verdict is None else not verdict
+    if op == "ult":
+        if left.hi < right.lo:
+            return True
+        if left.lo >= right.hi:
+            return False
+        return None
+    if op == "ule":
+        if left.hi <= right.lo:
+            return True
+        if left.lo > right.hi:
+            return False
+        return None
+    if op in ("slt", "sle"):
+        lmin, lmax = signed_extrema(left, width)
+        rmin, rmax = signed_extrema(right, width)
+        if op == "slt":
+            if lmax < rmin:
+                return True
+            if lmin >= rmax:
+                return False
+        else:
+            if lmax <= rmin:
+                return True
+            if lmin > rmax:
+                return False
+        return None
+    raise TypeError(f"unknown cmp op {op}")
+
+
+def cond_verdict(cond, domains: Dict[BVVar, Interval], cache=None):
+    """Decide a boolean expression from variable intervals (or None)."""
+    if isinstance(cond, BoolConst):
+        return cond.value
+    if isinstance(cond, BoolNot):
+        sub = cond_verdict(cond.operand, domains, cache)
+        return None if sub is None else not sub
+    if isinstance(cond, BoolAnd):
+        verdict = True
+        for operand in cond.operands:
+            sub = cond_verdict(operand, domains, cache)
+            if sub is False:
+                return False
+            if sub is None:
+                verdict = None
+        return verdict
+    if isinstance(cond, BoolOr):
+        verdict = False
+        for operand in cond.operands:
+            sub = cond_verdict(operand, domains, cache)
+            if sub is True:
+                return True
+            if sub is None:
+                verdict = None
+        return verdict
+    if isinstance(cond, Cmp):
+        left = interval_eval(cond.left, domains, cache)
+        right = interval_eval(cond.right, domains, cache)
+        return cmp_verdict(cond.op, left, right, cond.left.width)
+    return None

@@ -1,0 +1,17 @@
+"""NSL — the Node Scripting Language guest programs are written in.
+
+A C-like language compiled to a stack bytecode executed by the symbolic VM
+(:mod:`repro.vm`).  This package is the stand-in for KleeNet's
+C-via-LLVM-bitcode pipeline: node software is *unmodified* NSL source;
+symbolic behaviour enters only through the ``symbolic()`` intrinsic and the
+engine's failure models.
+"""
+
+from .builtins import BUILTINS, check_arity, is_builtin  # noqa: F401
+from .bytecode import CompiledProgram, FuncInfo, Instr, Op, disassemble  # noqa: F401
+from .compiler import compile_program, compile_source  # noqa: F401
+from .errors import CompileError, LexError, ParseError, SemanticError  # noqa: F401
+from .lexer import Token, tokenize  # noqa: F401
+from .nodes import Program  # noqa: F401
+from .parser import parse  # noqa: F401
+from .stdlib import NSL_STDLIB, with_stdlib  # noqa: F401

@@ -1,0 +1,59 @@
+"""Registry of VM intrinsics (the guest/OS boundary).
+
+Every entry maps a callable NSL name to its arity contract.  The compiler
+validates call sites against this table; the VM's syscall handler
+(:mod:`repro.vm.syscalls`) implements the semantics.  Keeping the table in
+:mod:`repro.lang` lets the compiler reject typos at build time instead of at
+simulation time.
+
+Arity is ``(min_args, max_args)``; ``max_args`` of None means unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["BUILTINS", "is_builtin", "check_arity"]
+
+BUILTINS: Dict[str, Tuple[int, Optional[int]]] = {
+    # -- identity / time ---------------------------------------------------
+    "node_id": (0, 0),        # this node's id
+    "node_count": (0, 0),     # number of nodes in the scenario
+    "time": (0, 0),           # virtual time in milliseconds
+    # -- symbolic input ----------------------------------------------------
+    "symbolic": (1, 2),       # symbolic("tag"[, width]) -> fresh symbolic value
+    "assume": (1, 1),         # assume(cond): constrain the current path
+    # -- checks ------------------------------------------------------------
+    "assert": (1, 2),         # assert(cond[, code]): error state if violated
+    "fail": (1, 1),           # fail(code): unconditional error state
+    # -- communication (Rime-like, see repro.oslib) -------------------------
+    "uc_send": (3, 3),        # uc_send(dest, buf, len): unicast
+    "bc_send": (2, 2),        # bc_send(buf, len): broadcast to neighbours
+    "recv_len": (0, 0),       # length of the packet being handled
+    "recv_src": (0, 0),       # sender id of the packet being handled
+    "recv_byte": (1, 1),      # recv_byte(i): i-th payload byte
+    "recv_copy": (3, 3),      # recv_copy(buf, off, len): copy payload bytes
+    # -- timers ------------------------------------------------------------
+    "timer_set": (2, 2),      # timer_set(id, delay_ms)
+    "timer_stop": (1, 1),     # timer_stop(id)
+    # -- raw memory (pointer-style access for buffer code) ------------------
+    "peek": (1, 1),           # peek(addr)
+    "poke": (2, 2),           # poke(addr, value)
+    # -- misc ---------------------------------------------------------------
+    "lshr": (2, 2),           # logical shift right (NSL '>>' is arithmetic)
+    "min": (2, 2),
+    "max": (2, 2),
+    "abs": (1, 1),
+    "log": (1, 4),            # diagnostic trace, no semantic effect
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS
+
+
+def check_arity(name: str, nargs: int) -> bool:
+    lo, hi = BUILTINS[name]
+    if nargs < lo:
+        return False
+    return hi is None or nargs <= hi

@@ -1,0 +1,152 @@
+"""Bytecode ISA for the symbolic VM.
+
+A compiled :class:`CompiledProgram` is a list of functions over one flat,
+statically allocated memory (globals first, then each function's
+parameter/local slots).  Static allocation mirrors how sensornet C is
+written (tiny stacks, no recursion) and makes execution-state forking a
+shallow list copy.  Recursion is rejected at compile time.
+
+The machine is a classic operand-stack machine.  Every instruction is an
+``(opcode, arg)`` pair; ``arg`` is an int, a tuple, a string, or None
+depending on the opcode (documented per opcode below).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = ["Op", "Instr", "FuncInfo", "CompiledProgram", "disassemble"]
+
+
+class Op(enum.IntEnum):
+    """Opcodes; the comment gives the ``arg`` payload and stack effect."""
+
+    PUSH = 1      # arg=imm            ; -- v
+    LOAD = 2      # arg=addr           ; -- mem[addr]
+    STORE = 3     # arg=addr           ; v --
+    LOADI = 4     # arg=(base, size)   ; idx -- mem[base+idx]   (bounds checked)
+    STOREI = 5    # arg=(base, size)   ; idx v --               (bounds checked)
+
+    ADD = 10      # a b -- a+b
+    SUB = 11      # a b -- a-b
+    MUL = 12      # a b -- a*b
+    SDIV = 13     # a b -- a/b   (signed, trap on b==0)
+    SREM = 14     # a b -- a%b   (signed, trap on b==0)
+    UDIV = 15     # a b -- a/b   (unsigned, trap on b==0)
+    UREM = 16     # a b -- a%b   (unsigned, trap on b==0)
+    BAND = 17     # a b -- a&b
+    BOR = 18      # a b -- a|b
+    BXOR = 19     # a b -- a^b
+    SHL = 20      # a b -- a<<b
+    ASHR = 21     # a b -- a>>b  (arithmetic; NSL '>>')
+    LSHR = 22     # a b -- a>>>b (logical; exposed via builtin lshr())
+    NEG = 23      # a -- -a
+    BNOT = 24     # a -- ~a
+
+    EQ = 30       # a b -- (a==b) ? 1 : 0
+    NE = 31       # a b -- (a!=b) ? 1 : 0
+    SLT = 32      # a b -- (a<b signed) ? 1 : 0
+    SLE = 33      # a b -- (a<=b signed) ? 1 : 0
+    ULT = 34      # a b -- (a<b unsigned) ? 1 : 0
+    ULE = 35      # a b -- (a<=b unsigned) ? 1 : 0
+    LNOT = 36     # a -- (a==0) ? 1 : 0
+    BOOL = 37     # a -- (a!=0) ? 1 : 0
+
+    JMP = 40      # arg=target
+    JZ = 41       # arg=target         ; v --  (branch if v==0; fork point)
+    JNZ = 42      # arg=target         ; v --  (branch if v!=0; fork point)
+
+    CALL = 50     # arg=(func_index, nargs) ; a1..an -- retval
+    RET = 51      #                    ; retval stays on stack
+    SYS = 52      # arg=(name, nargs)  ; a1..an -- retval
+
+    POP = 60      # v --
+    DUP = 61      # v -- v v
+
+
+class Instr(NamedTuple):
+    op: Op
+    arg: object = None
+    line: int = 0
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return self.op.name
+        return f"{self.op.name} {self.arg!r}"
+
+
+class FuncInfo(NamedTuple):
+    """Metadata for one compiled function."""
+
+    name: str
+    index: int
+    params: Tuple[str, ...]
+    param_base: int        # address of first parameter slot
+    frame_size: int        # number of memory cells (params + locals)
+    entry: int             # first instruction index in the shared code array
+    code_length: int
+
+
+class CompiledProgram:
+    """The output of :func:`repro.lang.compiler.compile_program`.
+
+    Attributes:
+        code: flat instruction list shared by all functions.
+        functions: by index; ``function_index`` maps names.
+        memory_size: total static cells (globals + all frames).
+        globals_layout: name -> (address, size) for inspection in tests.
+        initializers: list of (address, value) applied at node boot.
+        source: original NSL text (retained for diagnostics).
+    """
+
+    def __init__(
+        self,
+        code: List[Instr],
+        functions: List[FuncInfo],
+        memory_size: int,
+        globals_layout: Dict[str, Tuple[int, int]],
+        initializers: List[Tuple[int, int]],
+        source: str = "",
+        strings: Optional[List[str]] = None,
+    ) -> None:
+        self.code = code
+        self.functions = functions
+        self.function_index = {f.name: f.index for f in functions}
+        self.memory_size = memory_size
+        self.globals_layout = globals_layout
+        self.initializers = initializers
+        self.source = source
+        self.strings: List[str] = strings if strings is not None else []
+
+    def function(self, name: str) -> Optional[FuncInfo]:
+        index = self.function_index.get(name)
+        return self.functions[index] if index is not None else None
+
+    def has_handler(self, name: str) -> bool:
+        return name in self.function_index
+
+    def global_address(self, name: str) -> int:
+        return self.globals_layout[name][0]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProgram({len(self.functions)} funcs,"
+            f" {len(self.code)} instrs, {self.memory_size} cells)"
+        )
+
+
+def disassemble(program: CompiledProgram) -> str:
+    """Readable listing of a compiled program, one function per section."""
+    lines: List[str] = []
+    by_entry = sorted(program.functions, key=lambda f: f.entry)
+    for func in by_entry:
+        lines.append(
+            f"func {func.name}({', '.join(func.params)})"
+            f"  ; frame@{func.param_base}+{func.frame_size}"
+        )
+        for offset in range(func.code_length):
+            index = func.entry + offset
+            instr = program.code[index]
+            lines.append(f"  {index:5d}: {instr!r}")
+    return "\n".join(lines)

@@ -1,0 +1,597 @@
+"""Code generator: NSL AST -> stack bytecode.
+
+Responsibilities beyond plain codegen:
+
+- **memory layout** — globals first, then one static frame per function
+  (params followed by locals).  NSL has no runtime stack frames; recursion
+  is rejected via a call-graph cycle check (sensornet C discipline).
+- **name resolution** — lexical block scopes over the static layout;
+  constants fold at compile time; bare array names decay to their base
+  address (C-style), so buffers can be passed to ``uc_send``/``recv_copy``.
+- **arity checking** against user functions and the builtin table.
+- **short-circuit lowering** of ``&&``/``||``/``?:`` into branches, which is
+  what makes them symbolic fork points, exactly like compiled C in KleeNet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import nodes as N
+from .builtins import check_arity, is_builtin
+from .bytecode import CompiledProgram, FuncInfo, Instr, Op
+from .errors import SemanticError
+from .parser import parse
+
+__all__ = ["compile_program", "compile_source"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def compile_source(source: str) -> CompiledProgram:
+    """Compile NSL source text to bytecode (parse + codegen)."""
+    return compile_program(parse(source), source)
+
+
+def compile_program(program: N.Program, source: str = "") -> CompiledProgram:
+    return _Compiler(program, source).compile()
+
+
+def _fold(expr: N.Node, consts: Dict[str, int]) -> int:
+    """Evaluate a compile-time constant expression (32-bit semantics)."""
+    if isinstance(expr, N.IntLit):
+        return expr.value & _MASK32
+    if isinstance(expr, N.Name):
+        if expr.ident in consts:
+            return consts[expr.ident]
+        raise SemanticError(
+            f"{expr.ident!r} is not a constant", expr.line
+        )
+    if isinstance(expr, N.Unary):
+        value = _fold(expr.operand, consts)
+        if expr.op == "-":
+            return (-value) & _MASK32
+        if expr.op == "~":
+            return (~value) & _MASK32
+        return 1 if value == 0 else 0
+    if isinstance(expr, N.Binary):
+        left = _fold(expr.left, consts)
+        right = _fold(expr.right, consts)
+        return _fold_binary(expr.op, left, right, expr.line)
+    raise SemanticError("expression is not a compile-time constant", expr.line)
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _fold_binary(op: str, left: int, right: int, line: int) -> int:
+    sl, sr = _signed(left), _signed(right)
+    if op == "+":
+        return (left + right) & _MASK32
+    if op == "-":
+        return (left - right) & _MASK32
+    if op == "*":
+        return (left * right) & _MASK32
+    if op == "/":
+        if right == 0:
+            raise SemanticError("constant division by zero", line)
+        quotient = abs(sl) // abs(sr)
+        return (-quotient if (sl < 0) != (sr < 0) else quotient) & _MASK32
+    if op == "%":
+        if right == 0:
+            raise SemanticError("constant modulo by zero", line)
+        remainder = abs(sl) % abs(sr)
+        return (-remainder if sl < 0 else remainder) & _MASK32
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return 0 if right >= 32 else (left << right) & _MASK32
+    if op == ">>":
+        return (sl >> min(right, 31)) & _MASK32
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if sl < sr else 0
+    if op == "<=":
+        return 1 if sl <= sr else 0
+    if op == ">":
+        return 1 if sl > sr else 0
+    if op == ">=":
+        return 1 if sl >= sr else 0
+    raise SemanticError(f"operator {op!r} not allowed in constants", line)
+
+
+class _Binding:
+    """What a name resolves to in the current scope."""
+
+    __slots__ = ("kind", "addr", "size", "value", "index")
+
+    def __init__(self, kind, addr=0, size=0, value=0, index=0):
+        self.kind = kind  # 'cell' | 'array' | 'const' | 'func'
+        self.addr = addr
+        self.size = size
+        self.value = value
+        self.index = index
+
+
+_BIN_OPCODE = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.SDIV,
+    "%": Op.SREM,
+    "&": Op.BAND,
+    "|": Op.BOR,
+    "^": Op.BXOR,
+    "<<": Op.SHL,
+    ">>": Op.ASHR,
+    "==": Op.EQ,
+    "!=": Op.NE,
+    "<": Op.SLT,
+    "<=": Op.SLE,
+}
+_SWAPPED = {">": Op.SLT, ">=": Op.SLE}
+
+
+class _Compiler:
+    def __init__(self, program: N.Program, source: str) -> None:
+        self._program = program
+        self._source = source
+        self._code: List[Instr] = []
+        self._consts: Dict[str, int] = {}
+        self._globals: Dict[str, Tuple[int, int]] = {}
+        self._global_arrays: set = set()
+        self._initializers: List[Tuple[int, int]] = []
+        self._strings: List[str] = []
+        self._string_index: Dict[str, int] = {}
+        self._func_bindings: Dict[str, _Binding] = {}
+        self._func_defs: Dict[str, N.FuncDef] = {}
+        self._call_edges: Dict[str, Set[str]] = {}
+        self._next_addr = 0
+        # per-function compile state
+        self._scopes: List[Dict[str, _Binding]] = []
+        self._current_func: str = ""
+        self._frame_cursor = 0
+        self._loop_stack: List[Tuple[List[int], List[int]]] = []
+
+    # -- driver ---------------------------------------------------------------
+
+    def compile(self) -> CompiledProgram:
+        for const in self._program.consts:
+            if const.name in self._consts:
+                raise SemanticError(
+                    f"duplicate const {const.name!r}", const.line
+                )
+            self._consts[const.name] = _fold(const.value_expr, self._consts)
+
+        for decl in self._program.globals:
+            self._declare_global(decl)
+
+        functions: List[FuncInfo] = []
+        for index, func in enumerate(self._program.funcs):
+            if func.name in self._func_defs or func.name in self._globals:
+                raise SemanticError(f"duplicate name {func.name!r}", func.line)
+            if is_builtin(func.name):
+                raise SemanticError(
+                    f"{func.name!r} shadows a builtin", func.line
+                )
+            self._func_defs[func.name] = func
+            self._func_bindings[func.name] = _Binding("func", index=index)
+            self._call_edges[func.name] = set()
+
+        for func in self._program.funcs:
+            functions.append(self._compile_func(func))
+
+        self._check_no_recursion()
+
+        return CompiledProgram(
+            code=self._code,
+            functions=functions,
+            memory_size=self._next_addr,
+            globals_layout=dict(self._globals),
+            initializers=list(self._initializers),
+            source=self._source,
+            strings=list(self._strings),
+        )
+
+    def _declare_global(self, decl: N.GlobalVar) -> None:
+        if decl.name in self._globals or decl.name in self._consts:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+        size = decl.size if decl.size is not None else 1
+        address = self._next_addr
+        self._next_addr += size
+        self._globals[decl.name] = (address, size)
+        if decl.size is not None:
+            self._global_arrays.add(decl.name)
+        if decl.init is not None:
+            value = _fold(decl.init, self._consts)
+            self._initializers.append((address, value))
+
+    # -- scope helpers -----------------------------------------------------------
+
+    def _lookup(self, name: str, line: int) -> _Binding:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        if name in self._consts:
+            return _Binding("const", value=self._consts[name])
+        if name in self._globals:
+            address, size = self._globals[name]
+            if name in self._global_arrays:
+                return _Binding("array", addr=address, size=size)
+            return _Binding("cell", addr=address)
+        if name in self._func_bindings:
+            return self._func_bindings[name]
+        raise SemanticError(f"undefined name {name!r}", line)
+
+    def _declare_local(self, decl: N.VarDecl) -> _Binding:
+        scope = self._scopes[-1]
+        if decl.name in scope:
+            raise SemanticError(
+                f"duplicate local {decl.name!r} in scope", decl.line
+            )
+        size = decl.size if decl.size is not None else 1
+        address = self._next_addr
+        self._next_addr += size
+        self._frame_cursor += size
+        if decl.size is None:
+            binding = _Binding("cell", addr=address)
+        else:
+            binding = _Binding("array", addr=address, size=size)
+        scope[decl.name] = binding
+        return binding
+
+    # -- emission ------------------------------------------------------------------
+
+    def _emit(self, op: Op, arg=None, line: int = 0) -> int:
+        self._code.append(Instr(op, arg, line))
+        return len(self._code) - 1
+
+    def _patch(self, index: int, target: int) -> None:
+        instr = self._code[index]
+        self._code[index] = Instr(instr.op, target, instr.line)
+
+    def _here(self) -> int:
+        return len(self._code)
+
+    def _intern_string(self, text: str) -> int:
+        index = self._string_index.get(text)
+        if index is None:
+            index = len(self._strings)
+            self._strings.append(text)
+            self._string_index[text] = index
+        return index
+
+    # -- functions -----------------------------------------------------------------
+
+    def _compile_func(self, func: N.FuncDef) -> FuncInfo:
+        self._current_func = func.name
+        entry = self._here()
+        param_base = self._next_addr
+        self._frame_cursor = 0
+        scope: Dict[str, _Binding] = {}
+        for param in func.params:
+            if param in scope:
+                raise SemanticError(
+                    f"duplicate parameter {param!r}", func.line
+                )
+            scope[param] = _Binding("cell", addr=self._next_addr)
+            self._next_addr += 1
+            self._frame_cursor += 1
+        self._scopes = [scope]
+        self._compile_block(func.body)
+        if self._needs_epilogue(entry):
+            # Implicit `return 0;` for bodies that can fall off the end.
+            self._emit(Op.PUSH, 0, func.line)
+            self._emit(Op.RET, None, func.line)
+        self._scopes = []
+        index = self._func_bindings[func.name].index
+        return FuncInfo(
+            name=func.name,
+            index=index,
+            params=tuple(func.params),
+            param_base=param_base,
+            frame_size=self._frame_cursor,
+            entry=entry,
+            code_length=self._here() - entry,
+        )
+
+    def _needs_epilogue(self, entry: int) -> bool:
+        """Can control fall off the end of the body compiled since ``entry``?
+
+        Cheap conservative check: the body must end in RET and no jump in it
+        may target the end position (e.g. the then-branch JMP of a trailing
+        if/else).  Avoids emitting dead `PUSH 0; RET` epilogues that would
+        show up as uncovered code in coverage reports.
+        """
+        end = self._here()
+        if end == entry or self._code[-1].op != Op.RET:
+            return True
+        jumps = (Op.JMP, Op.JZ, Op.JNZ)
+        for instr in self._code[entry:]:
+            if instr.op in jumps and instr.arg == end:
+                return True
+        return False
+
+    def _check_no_recursion(self) -> None:
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self._call_edges}
+
+        def visit(name: str, trail: List[str]) -> None:
+            color[name] = GRAY
+            trail.append(name)
+            for callee in sorted(self._call_edges[name]):
+                if color[callee] == GRAY:
+                    cycle = " -> ".join(trail + [callee])
+                    raise SemanticError(
+                        f"recursion is not supported (static frames): {cycle}",
+                        self._func_defs[name].line,
+                    )
+                if color[callee] == WHITE:
+                    visit(callee, trail)
+            trail.pop()
+            color[name] = BLACK
+
+        for name in sorted(color):
+            if color[name] == WHITE:
+                visit(name, [])
+
+    # -- statements -------------------------------------------------------------------
+
+    def _compile_block(self, block: N.Block) -> None:
+        self._scopes.append({})
+        for statement in block.statements:
+            self._compile_statement(statement)
+        self._scopes.pop()
+
+    def _compile_statement(self, stmt: N.Node) -> None:
+        if isinstance(stmt, N.VarDecl):
+            binding = self._declare_local(stmt)
+            if stmt.init is not None:
+                if binding.kind == "array":
+                    raise SemanticError(
+                        "array locals cannot have initializers", stmt.line
+                    )
+                self._compile_expr(stmt.init)
+                self._emit(Op.STORE, binding.addr, stmt.line)
+            return
+        if isinstance(stmt, N.Assign):
+            self._compile_assign(stmt)
+            return
+        if isinstance(stmt, N.If):
+            self._compile_if(stmt)
+            return
+        if isinstance(stmt, N.While):
+            self._compile_while(stmt)
+            return
+        if isinstance(stmt, N.For):
+            self._compile_for(stmt)
+            return
+        if isinstance(stmt, N.Break):
+            if not self._loop_stack:
+                raise SemanticError("break outside loop", stmt.line)
+            jump = self._emit(Op.JMP, None, stmt.line)
+            self._loop_stack[-1][0].append(jump)
+            return
+        if isinstance(stmt, N.Continue):
+            if not self._loop_stack:
+                raise SemanticError("continue outside loop", stmt.line)
+            jump = self._emit(Op.JMP, None, stmt.line)
+            self._loop_stack[-1][1].append(jump)
+            return
+        if isinstance(stmt, N.Return):
+            if stmt.value is not None:
+                self._compile_expr(stmt.value)
+            else:
+                self._emit(Op.PUSH, 0, stmt.line)
+            self._emit(Op.RET, None, stmt.line)
+            return
+        if isinstance(stmt, N.ExprStmt):
+            self._compile_expr(stmt.expr)
+            self._emit(Op.POP, None, stmt.line)
+            return
+        raise SemanticError(
+            f"unsupported statement {type(stmt).__name__}", stmt.line
+        )
+
+    def _compile_assign(self, stmt: N.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, N.Name):
+            binding = self._lookup(target.ident, target.line)
+            if binding.kind != "cell":
+                raise SemanticError(
+                    f"cannot assign to {binding.kind} {target.ident!r}",
+                    target.line,
+                )
+            if stmt.op is not None:
+                self._emit(Op.LOAD, binding.addr, stmt.line)
+                self._compile_expr(stmt.value)
+                self._emit(_BIN_OPCODE[stmt.op], None, stmt.line)
+            else:
+                self._compile_expr(stmt.value)
+            self._emit(Op.STORE, binding.addr, stmt.line)
+            return
+        # Array element target.
+        binding = self._lookup(target.base, target.line)
+        if binding.kind != "array":
+            raise SemanticError(
+                f"{target.base!r} is not an array", target.line
+            )
+        extent = (binding.addr, binding.size)
+        self._compile_expr(target.index)
+        if stmt.op is not None:
+            self._emit(Op.DUP, None, stmt.line)
+            self._emit(Op.LOADI, extent, stmt.line)
+            self._compile_expr(stmt.value)
+            self._emit(_BIN_OPCODE[stmt.op], None, stmt.line)
+        else:
+            self._compile_expr(stmt.value)
+        self._emit(Op.STOREI, extent, stmt.line)
+
+    def _compile_if(self, stmt: N.If) -> None:
+        self._compile_expr(stmt.cond)
+        jz = self._emit(Op.JZ, None, stmt.line)
+        self._compile_block(stmt.then)
+        if stmt.orelse is not None:
+            jmp = self._emit(Op.JMP, None, stmt.line)
+            self._patch(jz, self._here())
+            self._compile_block(stmt.orelse)
+            self._patch(jmp, self._here())
+        else:
+            self._patch(jz, self._here())
+
+    def _compile_while(self, stmt: N.While) -> None:
+        top = self._here()
+        self._compile_expr(stmt.cond)
+        jz = self._emit(Op.JZ, None, stmt.line)
+        self._loop_stack.append(([], []))
+        self._compile_block(stmt.body)
+        breaks, continues = self._loop_stack.pop()
+        for jump in continues:
+            self._patch(jump, top)
+        self._emit(Op.JMP, top, stmt.line)
+        end = self._here()
+        self._patch(jz, end)
+        for jump in breaks:
+            self._patch(jump, end)
+
+    def _compile_for(self, stmt: N.For) -> None:
+        self._scopes.append({})
+        if stmt.init is not None:
+            self._compile_statement(stmt.init)
+        top = self._here()
+        jz = None
+        if stmt.cond is not None:
+            self._compile_expr(stmt.cond)
+            jz = self._emit(Op.JZ, None, stmt.line)
+        self._loop_stack.append(([], []))
+        self._compile_block(stmt.body)
+        breaks, continues = self._loop_stack.pop()
+        step_at = self._here()
+        for jump in continues:
+            self._patch(jump, step_at)
+        if stmt.step is not None:
+            self._compile_statement(stmt.step)
+        self._emit(Op.JMP, top, stmt.line)
+        end = self._here()
+        if jz is not None:
+            self._patch(jz, end)
+        for jump in breaks:
+            self._patch(jump, end)
+        self._scopes.pop()
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _compile_expr(self, expr: N.Node) -> None:
+        if isinstance(expr, N.IntLit):
+            self._emit(Op.PUSH, expr.value & _MASK32, expr.line)
+            return
+        if isinstance(expr, N.StrLit):
+            self._emit(Op.PUSH, self._intern_string(expr.value), expr.line)
+            return
+        if isinstance(expr, N.Name):
+            binding = self._lookup(expr.ident, expr.line)
+            if binding.kind == "const":
+                self._emit(Op.PUSH, binding.value, expr.line)
+            elif binding.kind == "cell":
+                self._emit(Op.LOAD, binding.addr, expr.line)
+            elif binding.kind == "array":
+                # C-style decay: an array name is its base address.
+                self._emit(Op.PUSH, binding.addr, expr.line)
+            else:
+                raise SemanticError(
+                    f"function {expr.ident!r} used as a value", expr.line
+                )
+            return
+        if isinstance(expr, N.Index):
+            binding = self._lookup(expr.base, expr.line)
+            if binding.kind != "array":
+                raise SemanticError(f"{expr.base!r} is not an array", expr.line)
+            self._compile_expr(expr.index)
+            self._emit(Op.LOADI, (binding.addr, binding.size), expr.line)
+            return
+        if isinstance(expr, N.Unary):
+            self._compile_expr(expr.operand)
+            opcode = {"-": Op.NEG, "~": Op.BNOT, "!": Op.LNOT}[expr.op]
+            self._emit(opcode, None, expr.line)
+            return
+        if isinstance(expr, N.Binary):
+            if expr.op in _SWAPPED:
+                self._compile_expr(expr.right)
+                self._compile_expr(expr.left)
+                self._emit(_SWAPPED[expr.op], None, expr.line)
+            else:
+                self._compile_expr(expr.left)
+                self._compile_expr(expr.right)
+                self._emit(_BIN_OPCODE[expr.op], None, expr.line)
+            return
+        if isinstance(expr, N.Logical):
+            self._compile_logical(expr)
+            return
+        if isinstance(expr, N.Ternary):
+            self._compile_expr(expr.cond)
+            jz = self._emit(Op.JZ, None, expr.line)
+            self._compile_expr(expr.then)
+            jmp = self._emit(Op.JMP, None, expr.line)
+            self._patch(jz, self._here())
+            self._compile_expr(expr.orelse)
+            self._patch(jmp, self._here())
+            return
+        if isinstance(expr, N.Call):
+            self._compile_call(expr)
+            return
+        raise SemanticError(
+            f"unsupported expression {type(expr).__name__}", expr.line
+        )
+
+    def _compile_logical(self, expr: N.Logical) -> None:
+        self._compile_expr(expr.left)
+        if expr.op == "&&":
+            short = self._emit(Op.JZ, None, expr.line)
+            self._compile_expr(expr.right)
+            self._emit(Op.BOOL, None, expr.line)
+            done = self._emit(Op.JMP, None, expr.line)
+            self._patch(short, self._here())
+            self._emit(Op.PUSH, 0, expr.line)
+            self._patch(done, self._here())
+        else:
+            short = self._emit(Op.JNZ, None, expr.line)
+            self._compile_expr(expr.right)
+            self._emit(Op.BOOL, None, expr.line)
+            done = self._emit(Op.JMP, None, expr.line)
+            self._patch(short, self._here())
+            self._emit(Op.PUSH, 1, expr.line)
+            self._patch(done, self._here())
+
+    def _compile_call(self, expr: N.Call) -> None:
+        name = expr.name
+        nargs = len(expr.args)
+        if is_builtin(name):
+            if not check_arity(name, nargs):
+                raise SemanticError(
+                    f"builtin {name!r} called with {nargs} args", expr.line
+                )
+            for arg in expr.args:
+                self._compile_expr(arg)
+            self._emit(Op.SYS, (name, nargs), expr.line)
+            return
+        binding = self._func_bindings.get(name)
+        if binding is None:
+            raise SemanticError(f"undefined function {name!r}", expr.line)
+        func = self._func_defs[name]
+        if nargs != len(func.params):
+            raise SemanticError(
+                f"{name!r} expects {len(func.params)} args, got {nargs}",
+                expr.line,
+            )
+        for arg in expr.args:
+            self._compile_expr(arg)
+        self._call_edges[self._current_func].add(name)
+        self._emit(Op.CALL, (binding.index, nargs), expr.line)

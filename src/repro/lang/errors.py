@@ -1,0 +1,32 @@
+"""Compilation diagnostics for the NSL guest language."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError", "LexError", "ParseError", "SemanticError"]
+
+
+class CompileError(Exception):
+    """Base class for all guest-program compilation failures.
+
+    Carries a source location so scenario authors get actionable messages
+    (the guest programs in :mod:`repro.workloads` are plain strings).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(CompileError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(CompileError):
+    """Token stream does not form a valid program."""
+
+
+class SemanticError(CompileError):
+    """Name resolution / arity / assignment-target errors."""

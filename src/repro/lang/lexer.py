@@ -1,0 +1,208 @@
+"""Tokenizer for NSL (Node Scripting Language).
+
+NSL is the C-like guest language node programs are written in.  The lexer
+produces a flat token list consumed by the recursive-descent parser.  It
+supports decimal/hex/char integer literals, string literals (used only as
+intrinsic arguments, e.g. ``symbolic("drop")``), line (``//``) and block
+(``/* */``) comments.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from .errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    [
+        "var",
+        "const",
+        "func",
+        "if",
+        "else",
+        "while",
+        "for",
+        "break",
+        "continue",
+        "return",
+    ]
+)
+
+# Multi-character operators first (longest match wins).
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+class Token(NamedTuple):
+    kind: str  # 'int', 'string', 'ident', 'keyword', 'op', 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert NSL source text into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < length:
+        ch = source[pos]
+
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+
+        if source.startswith("//", pos):
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, column())
+            line += source.count("\n", pos, end)
+            newline = source.rfind("\n", pos, end)
+            if newline >= 0:
+                line_start = newline + 1
+            pos = end + 2
+            continue
+
+        if ch.isdigit():
+            start, start_col = pos, column()
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                text = source[start:pos]
+                if len(text) == 2:
+                    raise LexError("empty hex literal", line, start_col)
+                value = int(text, 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                value = int(source[start:pos])
+            tokens.append(Token("int", value, line, start_col))
+            continue
+
+        if ch == "'":
+            start_col = column()
+            pos += 1
+            if pos >= length:
+                raise LexError("unterminated char literal", line, start_col)
+            if source[pos] == "\\":
+                pos += 1
+                if pos >= length or source[pos] not in _ESCAPES:
+                    raise LexError("bad escape in char literal", line, start_col)
+                value = _ESCAPES[source[pos]]
+            else:
+                value = ord(source[pos])
+            pos += 1
+            if pos >= length or source[pos] != "'":
+                raise LexError("unterminated char literal", line, start_col)
+            pos += 1
+            tokens.append(Token("int", value, line, start_col))
+            continue
+
+        if ch == '"':
+            start_col = column()
+            pos += 1
+            chars: List[str] = []
+            while pos < length and source[pos] != '"':
+                if source[pos] == "\n":
+                    raise LexError("newline in string literal", line, start_col)
+                if source[pos] == "\\":
+                    pos += 1
+                    if pos >= length or source[pos] not in _ESCAPES:
+                        raise LexError("bad escape in string", line, start_col)
+                    chars.append(chr(_ESCAPES[source[pos]]))
+                else:
+                    chars.append(source[pos])
+                pos += 1
+            if pos >= length:
+                raise LexError("unterminated string literal", line, start_col)
+            pos += 1
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start, start_col = pos, column()
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line, column()))
+                pos += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token("eof", None, line, column()))
+    return tokens

@@ -1,0 +1,299 @@
+"""Abstract syntax tree for NSL.
+
+Plain dataclass-style nodes; every node records its source line for
+diagnostics.  The tree is produced by :mod:`repro.lang.parser` and consumed
+by :mod:`repro.lang.compiler`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Node",
+    "Program",
+    "GlobalVar",
+    "ConstDef",
+    "FuncDef",
+    "Block",
+    "VarDecl",
+    "If",
+    "While",
+    "For",
+    "Break",
+    "Continue",
+    "Return",
+    "ExprStmt",
+    "Assign",
+    "IntLit",
+    "StrLit",
+    "Name",
+    "Index",
+    "Unary",
+    "Binary",
+    "Logical",
+    "Ternary",
+    "Call",
+]
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line: int) -> None:
+        self.line = line
+
+
+# -- top level ---------------------------------------------------------------
+
+
+class Program(Node):
+    __slots__ = ("globals", "consts", "funcs")
+
+    def __init__(
+        self,
+        globals_: List["GlobalVar"],
+        consts: List["ConstDef"],
+        funcs: List["FuncDef"],
+    ) -> None:
+        super().__init__(1)
+        self.globals = globals_
+        self.consts = consts
+        self.funcs = funcs
+
+
+class GlobalVar(Node):
+    """``var name;`` / ``var name = expr;`` / ``var name[size];``"""
+
+    __slots__ = ("name", "size", "init")
+
+    def __init__(self, line: int, name: str, size: Optional[int], init) -> None:
+        super().__init__(line)
+        self.name = name
+        self.size = size  # None for scalars, element count for arrays
+        self.init = init  # expression or None (arrays: always None)
+
+
+class ConstDef(Node):
+    """``const NAME = <constant expression>;``"""
+
+    __slots__ = ("name", "value_expr")
+
+    def __init__(self, line: int, name: str, value_expr) -> None:
+        super().__init__(line)
+        self.name = name
+        self.value_expr = value_expr
+
+
+class FuncDef(Node):
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, line: int, name: str, params: List[str], body: "Block") -> None:
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, line: int, statements: List[Node]) -> None:
+        super().__init__(line)
+        self.statements = statements
+
+
+class VarDecl(Node):
+    """Local declaration; same shape as :class:`GlobalVar`."""
+
+    __slots__ = ("name", "size", "init")
+
+    def __init__(self, line: int, name: str, size: Optional[int], init) -> None:
+        super().__init__(line)
+        self.name = name
+        self.size = size
+        self.init = init
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, line: int, cond, then: Block, orelse: Optional[Block]) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, line: int, cond, body: Block) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, line: int, init, cond, step, body: Block) -> None:
+        super().__init__(line)
+        self.init = init  # statement or None
+        self.cond = cond  # expression or None (None == forever)
+        self.step = step  # statement or None
+        self.body = body
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value) -> None:
+        super().__init__(line)
+        self.value = value  # expression or None
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, line: int, expr) -> None:
+        super().__init__(line)
+        self.expr = expr
+
+
+class Assign(Node):
+    """``target = value`` or compound ``target op= value``.
+
+    ``target`` is a :class:`Name` or :class:`Index`;
+    ``op`` is None for plain assignment, else one of ``+ - * / % & | ^ << >>``.
+    """
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, line: int, target, op: Optional[str], value) -> None:
+        super().__init__(line)
+        self.target = target
+        self.op = op
+        self.value = value
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class IntLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: int) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class StrLit(Node):
+    """String literal; only valid as an intrinsic argument."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, line: int, value: str) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Node):
+    __slots__ = ("ident",)
+
+    def __init__(self, line: int, ident: str) -> None:
+        super().__init__(line)
+        self.ident = ident
+
+
+class Index(Node):
+    __slots__ = ("base", "index")
+
+    def __init__(self, line: int, base: str, index) -> None:
+        super().__init__(line)
+        self.base = base  # array name (NSL arrays are named, not first-class)
+        self.index = index
+
+
+class Unary(Node):
+    """``-x``, ``~x``, ``!x``"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, line: int, op: str, operand) -> None:
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    """Strict (non-short-circuit) binary operators."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, line: int, op: str, left, right) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Logical(Node):
+    """Short-circuit ``&&`` / ``||`` (compiled to branches)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, line: int, op: str, left, right) -> None:
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Ternary(Node):
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, line: int, cond, then, orelse) -> None:
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, line: int, name: str, args: List[Node]) -> None:
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+def dump(node: Node, indent: int = 0) -> str:
+    """Debug rendering of an AST subtree (stable across runs)."""
+    pad = "  " * indent
+    name = type(node).__name__
+    parts = [f"{pad}{name}"]
+    for slot in node.__slots__:
+        value = getattr(node, slot)
+        if isinstance(value, Node):
+            parts.append(f"{pad}  {slot}:")
+            parts.append(dump(value, indent + 2))
+        elif isinstance(value, list) and value and isinstance(value[0], Node):
+            parts.append(f"{pad}  {slot}:")
+            for item in value:
+                parts.append(dump(item, indent + 2))
+        else:
+            parts.append(f"{pad}  {slot}={value!r}")
+    return "\n".join(parts)

@@ -1,0 +1,360 @@
+"""Recursive-descent parser for NSL.
+
+Grammar (EBNF-ish)::
+
+    program    := (global | const | func)*
+    global     := "var" IDENT ("[" INT "]")? ("=" expr)? ";"
+    const      := "const" IDENT "=" expr ";"
+    func       := "func" IDENT "(" params? ")" block
+    block      := "{" statement* "}"
+    statement  := vardecl | if | while | for | "break" ";" | "continue" ";"
+                | "return" expr? ";" | simple ";"
+    simple     := assignment | expr          (for-loop headers reuse this)
+    assignment := lvalue ("=" | "+=" | ... ) expr
+    expr       := ternary
+    ternary    := logic_or ("?" expr ":" ternary)?
+    logic_or   := logic_and ("||" logic_and)*
+    logic_and  := bitor ("&&" bitor)*
+    bitor      := bitxor ("|" bitxor)*
+    bitxor     := bitand ("^" bitand)*
+    bitand     := equality ("&" equality)*
+    equality   := relational (("==" | "!=") relational)*
+    relational := shift (("<" | "<=" | ">" | ">=") shift)*
+    shift      := additive (("<<" | ">>") additive)*
+    additive   := multiplicative (("+" | "-") multiplicative)*
+    multiplicative := unary (("*" | "/" | "%") unary)*
+    unary      := ("-" | "~" | "!") unary | postfix
+    postfix    := primary ("[" expr "]")?
+    primary    := INT | STRING | IDENT ("(" args? ")")? | "(" expr ")"
+
+Operator precedence and semantics follow C, with all arithmetic performed on
+32-bit two's-complement integers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import nodes as N
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+__all__ = ["parse"]
+
+_COMPOUND_OPS = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+def parse(source: str) -> N.Program:
+    """Parse NSL source text into a :class:`repro.lang.nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, value=None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _match(self, kind: str, value=None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_program(self) -> N.Program:
+        globals_: List[N.GlobalVar] = []
+        consts: List[N.ConstDef] = []
+        funcs: List[N.FuncDef] = []
+        while not self._check("eof"):
+            token = self._peek()
+            if self._check("keyword", "var"):
+                globals_.append(self._parse_global())
+            elif self._check("keyword", "const"):
+                consts.append(self._parse_const())
+            elif self._check("keyword", "func"):
+                funcs.append(self._parse_func())
+            else:
+                raise ParseError(
+                    f"expected declaration, found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+        return N.Program(globals_, consts, funcs)
+
+    def _parse_global(self) -> N.GlobalVar:
+        line = self._expect("keyword", "var").line
+        name = self._expect("ident").value
+        size, init = self._parse_var_suffix(line, name)
+        return N.GlobalVar(line, name, size, init)
+
+    def _parse_var_suffix(self, line: int, name: str):
+        size = None
+        init = None
+        if self._match("op", "["):
+            size_token = self._expect("int")
+            size = size_token.value
+            if size <= 0:
+                raise ParseError(
+                    f"array {name!r} must have positive size",
+                    size_token.line,
+                    size_token.column,
+                )
+            self._expect("op", "]")
+        elif self._match("op", "="):
+            init = self._parse_expr()
+        self._expect("op", ";")
+        return size, init
+
+    def _parse_const(self) -> N.ConstDef:
+        line = self._expect("keyword", "const").line
+        name = self._expect("ident").value
+        self._expect("op", "=")
+        value_expr = self._parse_expr()
+        self._expect("op", ";")
+        return N.ConstDef(line, name, value_expr)
+
+    def _parse_func(self) -> N.FuncDef:
+        line = self._expect("keyword", "func").line
+        name = self._expect("ident").value
+        self._expect("op", "(")
+        params: List[str] = []
+        if not self._check("op", ")"):
+            params.append(self._expect("ident").value)
+            while self._match("op", ","):
+                params.append(self._expect("ident").value)
+        self._expect("op", ")")
+        body = self._parse_block()
+        return N.FuncDef(line, name, params, body)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> N.Block:
+        line = self._expect("op", "{").line
+        statements: List[N.Node] = []
+        while not self._check("op", "}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", line, 0)
+            statements.append(self._parse_statement())
+        self._expect("op", "}")
+        return N.Block(line, statements)
+
+    def _parse_statement(self) -> N.Node:
+        token = self._peek()
+        if self._check("keyword", "var"):
+            self._advance()
+            name = self._expect("ident").value
+            size, init = self._parse_var_suffix(token.line, name)
+            return N.VarDecl(token.line, name, size, init)
+        if self._check("keyword", "if"):
+            return self._parse_if()
+        if self._check("keyword", "while"):
+            self._advance()
+            self._expect("op", "(")
+            cond = self._parse_expr()
+            self._expect("op", ")")
+            body = self._parse_block()
+            return N.While(token.line, cond, body)
+        if self._check("keyword", "for"):
+            return self._parse_for()
+        if self._check("keyword", "break"):
+            self._advance()
+            self._expect("op", ";")
+            return N.Break(token.line)
+        if self._check("keyword", "continue"):
+            self._advance()
+            self._expect("op", ";")
+            return N.Continue(token.line)
+        if self._check("keyword", "return"):
+            self._advance()
+            value = None
+            if not self._check("op", ";"):
+                value = self._parse_expr()
+            self._expect("op", ";")
+            return N.Return(token.line, value)
+        statement = self._parse_simple()
+        self._expect("op", ";")
+        return statement
+
+    def _parse_if(self) -> N.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then = self._parse_block()
+        orelse: Optional[N.Block] = None
+        if self._match("keyword", "else"):
+            if self._check("keyword", "if"):
+                nested = self._parse_if()
+                orelse = N.Block(nested.line, [nested])
+            else:
+                orelse = self._parse_block()
+        return N.If(line, cond, then, orelse)
+
+    def _parse_for(self) -> N.For:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "var"):
+                # `for (var i = 0; ...)` declares the loop variable in the
+                # loop's own scope (the compiler wraps the whole loop).
+                var_token = self._advance()
+                name = self._expect("ident").value
+                decl_init = None
+                if self._match("op", "="):
+                    decl_init = self._parse_expr()
+                init = N.VarDecl(var_token.line, name, None, decl_init)
+            else:
+                init = self._parse_simple()
+        self._expect("op", ";")
+        cond = None
+        if not self._check("op", ";"):
+            cond = self._parse_expr()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_simple()
+        self._expect("op", ")")
+        body = self._parse_block()
+        return N.For(line, init, cond, step, body)
+
+    def _parse_simple(self) -> N.Node:
+        """An assignment or a bare expression (no trailing semicolon)."""
+        start = self._pos
+        line = self._peek().line
+        expr = self._parse_expr()
+        token = self._peek()
+        if token.kind == "op" and (token.value == "=" or token.value in _COMPOUND_OPS):
+            if not isinstance(expr, (N.Name, N.Index)):
+                raise ParseError(
+                    "assignment target must be a variable or array element",
+                    token.line,
+                    token.column,
+                )
+            self._advance()
+            value = self._parse_expr()
+            op = None if token.value == "=" else token.value[:-1]
+            return N.Assign(line, expr, op, value)
+        del start
+        return N.ExprStmt(line, expr)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expr(self) -> N.Node:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> N.Node:
+        cond = self._parse_binary(0)
+        if self._check("op", "?"):
+            line = self._advance().line
+            then = self._parse_expr()
+            self._expect("op", ":")
+            orelse = self._parse_ternary()
+            return N.Ternary(line, cond, then, orelse)
+        return cond
+
+    # Precedence table: lower index binds looser.
+    _LEVELS = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> N.Node:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        ops = self._LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self._peek().kind == "op" and self._peek().value in ops:
+            token = self._advance()
+            right = self._parse_binary(level + 1)
+            if token.value in ("&&", "||"):
+                left = N.Logical(token.line, token.value, left, right)
+            else:
+                left = N.Binary(token.line, token.value, left, right)
+        return left
+
+    def _parse_unary(self) -> N.Node:
+        token = self._peek()
+        if token.kind == "op" and token.value in ("-", "~", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return N.Unary(token.line, token.value, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> N.Node:
+        expr = self._parse_primary()
+        if self._check("op", "["):
+            if not isinstance(expr, N.Name):
+                token = self._peek()
+                raise ParseError(
+                    "only named arrays can be indexed", token.line, token.column
+                )
+            self._advance()
+            index = self._parse_expr()
+            self._expect("op", "]")
+            return N.Index(expr.line, expr.ident, index)
+        return expr
+
+    def _parse_primary(self) -> N.Node:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return N.IntLit(token.line, token.value)
+        if token.kind == "string":
+            self._advance()
+            return N.StrLit(token.line, token.value)
+        if token.kind == "ident":
+            self._advance()
+            if self._check("op", "("):
+                self._advance()
+                args: List[N.Node] = []
+                if not self._check("op", ")"):
+                    args.append(self._parse_expr())
+                    while self._match("op", ","):
+                        args.append(self._parse_expr())
+                self._expect("op", ")")
+                return N.Call(token.line, token.value, args)
+            return N.Name(token.line, token.value)
+        if self._match("op", "("):
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(
+            f"expected expression, found {token.value!r}", token.line, token.column
+        )

@@ -1,0 +1,97 @@
+"""A small guest-side standard library (NSL source fragment).
+
+Buffer and checksum helpers in pure NSL, operating on decayed array
+addresses via ``peek``/``poke``.  Workload programs prepend this fragment
+(like :data:`repro.oslib.rime.RIME_LIBRARY`); everything here executes
+inside the VM and is symbolically explored like application code — which is
+the point: checksum loops over symbolic payload bytes are classic fork/
+constraint generators.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NSL_STDLIB", "with_stdlib", "crc8_reference", "sum_reference"]
+
+NSL_STDLIB = """
+// ---- nsl stdlib (injected by repro.lang.stdlib) ----
+
+// Fill n cells starting at address dst with value.
+func memset(dst, value, n) {
+    var i = 0;
+    while (i < n) {
+        poke(dst + i, value);
+        i += 1;
+    }
+    return dst;
+}
+
+// Copy n cells src -> dst (forward; regions must not overlap backwards).
+func memcpy(dst, src, n) {
+    var i = 0;
+    while (i < n) {
+        poke(dst + i, peek(src + i));
+        i += 1;
+    }
+    return dst;
+}
+
+// Compare n cells; returns 0 when equal, 1 otherwise.
+func memcmp(a, b, n) {
+    var i = 0;
+    while (i < n) {
+        if (peek(a + i) != peek(b + i)) { return 1; }
+        i += 1;
+    }
+    return 0;
+}
+
+// Sum of n cells, truncated to a byte.
+func sum8(buf, n) {
+    var total = 0;
+    var i = 0;
+    while (i < n) {
+        total += peek(buf + i);
+        i += 1;
+    }
+    return total & 0xff;
+}
+
+// CRC-8 (polynomial 0x07, init 0) over the low bytes of n cells.
+func crc8(buf, n) {
+    var crc = 0;
+    var i = 0;
+    while (i < n) {
+        crc = crc ^ (peek(buf + i) & 0xff);
+        var bit = 0;
+        while (bit < 8) {
+            if (crc & 0x80) {
+                crc = ((crc << 1) ^ 0x07) & 0xff;
+            } else {
+                crc = (crc << 1) & 0xff;
+            }
+            bit += 1;
+        }
+        i += 1;
+    }
+    return crc;
+}
+"""
+
+
+def with_stdlib(application_source: str) -> str:
+    """Compose a program: stdlib + application code."""
+    return NSL_STDLIB + "\n" + application_source
+
+
+def crc8_reference(data) -> int:
+    """Host-side CRC-8 (poly 0x07) for verifying the guest implementation."""
+    crc = 0
+    for byte in data:
+        crc ^= byte & 0xFF
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x07) & 0xFF if crc & 0x80 else (crc << 1) & 0xFF
+    return crc
+
+
+def sum_reference(data) -> int:
+    return sum(value & 0xFFFFFFFF for value in data) & 0xFF

@@ -1,0 +1,14 @@
+"""Network substrate: topologies, packets, ideal medium, symbolic failures."""
+
+from .failures import (  # noqa: F401
+    DeliveryPlan,
+    FailureModel,
+    SymbolicDuplication,
+    SymbolicNodeReboot,
+    SymbolicPacketDrop,
+    standard_failure_suite,
+)
+from .link_failures import SymbolicLinkFailure  # noqa: F401
+from .medium import Medium  # noqa: F401
+from .packet import Packet, reset_packet_ids  # noqa: F401
+from .topology import Topology  # noqa: F401

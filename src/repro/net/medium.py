@@ -1,0 +1,54 @@
+"""The network medium: who can hear whom, and with what latency.
+
+The paper's network model is ideal ("no node and network failures" at this
+layer; failures are injected *above* by :mod:`repro.net.failures`).  The
+medium therefore only answers reachability and delay questions:
+
+- a unicast reaches its destination iff destination is a neighbour;
+- a broadcast is modelled as a series of unicasts to every neighbour
+  (paper, footnote 1);
+- delivery latency is a deterministic constant (configurable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .topology import Topology
+
+__all__ = ["Medium"]
+
+
+class Medium:
+    """Ideal-condition medium over a topology."""
+
+    def __init__(self, topology: Topology, latency_ms: int = 1) -> None:
+        if latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+        self.topology = topology
+        self.latency_ms = latency_ms
+        self.unicasts_sent = 0
+        self.broadcasts_sent = 0
+        self.undeliverable = 0
+
+    def unicast_targets(self, src: int, dest: int) -> List[int]:
+        """Destination node ids a unicast actually reaches (0 or 1)."""
+        self.unicasts_sent += 1
+        if self.topology.are_neighbors(src, dest):
+            return [dest]
+        self.undeliverable += 1
+        return []
+
+    def broadcast_targets(self, src: int) -> List[int]:
+        """Every neighbour overhears a broadcast (sorted: determinism)."""
+        self.broadcasts_sent += 1
+        return list(self.topology.neighbors(src))
+
+    def delivery_time(self, sent_at: int) -> int:
+        return sent_at + self.latency_ms
+
+    def stats(self) -> Tuple[int, int, int]:
+        return self.unicasts_sent, self.broadcasts_sent, self.undeliverable
+
+    def __repr__(self) -> str:
+        return f"Medium({self.topology.name}, latency={self.latency_ms}ms)"

@@ -1,0 +1,156 @@
+"""Network topologies for SDE scenarios.
+
+Wraps a :mod:`networkx` graph with the derived data the engine and workloads
+need: neighbour sets, static next-hop routing toward a sink (the paper's
+grid scenarios use preconfigured static routes), and the classification of
+nodes into on-path / neighbour-of-path / bystander roles that drives the
+symbolic-failure configuration (cf. the paper's Figure 9, where six grid
+corners are bystanders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An undirected connectivity graph over nodes ``0..k-1``."""
+
+    def __init__(self, graph: nx.Graph, name: str = "custom") -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("topology must contain at least one node")
+        expected = set(range(graph.number_of_nodes()))
+        if set(graph.nodes) != expected:
+            raise ValueError("nodes must be labelled 0..k-1")
+        self.graph = graph
+        self.name = name
+        self._neighbors: Dict[int, Tuple[int, ...]] = {
+            node: tuple(sorted(graph.neighbors(node))) for node in graph.nodes
+        }
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def line(cls, k: int) -> "Topology":
+        """Nodes 0-1-2-...-(k-1) in a chain."""
+        return cls(nx.path_graph(k), name=f"line-{k}")
+
+    @classmethod
+    def grid(cls, width: int, height: Optional[int] = None) -> "Topology":
+        """A width x height lattice, row-major labels (the paper's layout)."""
+        height = width if height is None else height
+        graph = nx.Graph()
+        graph.add_nodes_from(range(width * height))
+        for row in range(height):
+            for col in range(width):
+                node = row * width + col
+                if col + 1 < width:
+                    graph.add_edge(node, node + 1)
+                if row + 1 < height:
+                    graph.add_edge(node, node + width)
+        topology = cls(graph, name=f"grid-{width}x{height}")
+        topology.width = width
+        topology.height = height
+        return topology
+
+    @classmethod
+    def star(cls, k: int) -> "Topology":
+        """Node 0 is the hub; 1..k-1 are leaves."""
+        return cls(nx.star_graph(k - 1), name=f"star-{k}")
+
+    @classmethod
+    def full_mesh(cls, k: int) -> "Topology":
+        """Every node hears every other node (the paper's worst case)."""
+        return cls(nx.complete_graph(k), name=f"mesh-{k}")
+
+    @classmethod
+    def random_connected(cls, k: int, degree: int = 3, seed: int = 7) -> "Topology":
+        """A random connected graph (regular-ish) for randomized tests."""
+        attempt = seed
+        while True:
+            graph = nx.random_regular_graph(min(degree, k - 1), k, seed=attempt)
+            if nx.is_connected(graph):
+                return cls(graph, name=f"random-{k}-d{degree}-s{seed}")
+            attempt += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def nodes(self) -> range:
+        return range(self.node_count)
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        return self._neighbors[node]
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        return b in self._neighbors[a]
+
+    def shortest_path(self, src: int, dest: int) -> List[int]:
+        return nx.shortest_path(self.graph, src, dest)
+
+    def diameter(self) -> int:
+        return nx.diameter(self.graph)
+
+    # -- routing ------------------------------------------------------------------
+
+    def next_hop_table(self, sink: int) -> Dict[int, int]:
+        """Static routing: next hop toward ``sink`` for every node.
+
+        Deterministic (among equal-length paths the lowest-id parent wins),
+        which matches the "preconfigured data path" of the paper's grid
+        scenario.
+        """
+        table: Dict[int, int] = {sink: sink}
+        frontier = [sink]
+        visited = {sink}
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor in self._neighbors[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        table[neighbor] = node
+                        next_frontier.append(neighbor)
+            frontier = sorted(next_frontier)
+        return table
+
+    def route(self, src: int, sink: int) -> List[int]:
+        """The static route src -> sink induced by :meth:`next_hop_table`."""
+        table = self.next_hop_table(sink)
+        path = [src]
+        while path[-1] != sink:
+            path.append(table[path[-1]])
+        return path
+
+    def path_roles(
+        self, src: int, sink: int
+    ) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+        """Classify nodes for a src->sink flow.
+
+        Returns ``(on_path, path_neighbors, bystanders)``: nodes on the
+        static route; nodes that overhear it (neighbours of on-path nodes);
+        and everything else — the paper's gray-shaded corner nodes in
+        Figure 9.
+        """
+        on_path = frozenset(self.route(src, sink))
+        neighbors = set()
+        for node in on_path:
+            neighbors.update(self._neighbors[node])
+        path_neighbors = frozenset(neighbors - on_path)
+        bystanders = frozenset(
+            set(self.nodes()) - on_path - path_neighbors
+        )
+        return on_path, path_neighbors, bystanders
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name}: {self.node_count} nodes,"
+            f" {self.graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,20 @@
+"""Contiki/Rime-like node OS library.
+
+- :mod:`repro.oslib.kernel` — the event-driven node OS (syscall host);
+- :mod:`repro.oslib.rime` — guest-side Rime-like protocol library.
+"""
+
+from .kernel import (  # noqa: F401
+    HANDLER_BOOT,
+    HANDLER_RECV,
+    HANDLER_TIMER,
+    EngineServices,
+    NodeOS,
+)
+from .rime import (  # noqa: F401
+    HEADER_CELLS,
+    KIND_COLLECT,
+    KIND_DATA,
+    RIME_LIBRARY,
+    rime_program,
+)

@@ -1,0 +1,105 @@
+"""Rime-like guest-side protocol library.
+
+Contiki's Rime stack layers thin protocols over the radio: anonymous
+broadcast, identified unicast, multihop forwarding, and tree-based collect.
+The equivalents here are **NSL source fragments**: guest-side library code
+that workload programs concatenate with their application logic, plus the
+shared header layout.  This mirrors how Rime is linked into a Contiki image
+— the protocol logic executes inside the VM and is symbolically explored
+like any other guest code, which is essential: protocol-level branches on
+symbolic data are exactly where KleeNet finds its bugs.
+
+Transmissions are radio broadcasts (every neighbour overhears every leg —
+that is why the paper configures symbolic drops on the data path *and its
+neighbours*), but each data/collect packet carries the intended next hop in
+its header; only the addressee forwards.
+
+Packet header layout (payload cells)::
+
+    cell 0: kind     (KIND_DATA / KIND_COLLECT)
+    cell 1: to       (intended next hop of this leg)
+    cell 2: origin   (node id where the payload was born)
+    cell 3: seqno    (per-origin sequence number)
+    cell 4: hops     (incremented per forward)
+    cell 5+: application payload
+
+Guests configure routing through the ``rime_next_hop`` global, which the
+engine presets per node from the topology (the paper's "preconfigured data
+path" — KleeNet likewise injects the scenario via a configuration file).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HEADER_CELLS",
+    "KIND_DATA",
+    "KIND_COLLECT",
+    "RIME_LIBRARY",
+    "rime_program",
+]
+
+#: Number of header cells before application payload.
+HEADER_CELLS = 5
+
+KIND_DATA = 1
+KIND_COLLECT = 2
+
+RIME_LIBRARY = """
+// ---- rime-like guest library (injected by repro.oslib.rime) ----
+const RIME_HDR = 5;
+const RIME_KIND_DATA = 1;
+const RIME_KIND_COLLECT = 2;
+
+var rime_next_hop = 0;     // preset by the engine from the topology
+var rime_sink = 0;         // preset: the collect tree root
+var rime_seqno = 0;
+var rime_buf[24];          // staging buffer (header + payload)
+
+// Send `payload_len` cells from `payload` toward the collect sink via the
+// static next-hop route.  Returns the seqno used.
+func collect_send(payload, payload_len) {
+    rime_buf[0] = RIME_KIND_COLLECT;
+    rime_buf[1] = rime_next_hop;
+    rime_buf[2] = node_id();
+    rime_buf[3] = rime_seqno;
+    rime_buf[4] = 0;
+    var i = 0;
+    while (i < payload_len) {
+        rime_buf[RIME_HDR + i] = peek(payload + i);
+        i += 1;
+    }
+    rime_seqno += 1;
+    bc_send(rime_buf, RIME_HDR + payload_len);
+    return rime_seqno - 1;
+}
+
+// Forward the packet currently being received one hop toward the sink.
+// Must only be called from on_recv.  Returns the new hop count.
+func collect_forward() {
+    var len = recv_len();
+    recv_copy(rime_buf, 0, len);
+    rime_buf[1] = rime_next_hop;
+    rime_buf[4] = rime_buf[4] + 1;
+    bc_send(rime_buf, len);
+    return rime_buf[4];
+}
+
+// Header accessors for the packet being received.
+func rime_kind()   { return recv_byte(0); }
+func rime_to()     { return recv_byte(1); }
+func rime_origin() { return recv_byte(2); }
+func rime_seq()    { return recv_byte(3); }
+func rime_hops()   { return recv_byte(4); }
+
+// Payload accessor: i-th application cell of the received packet.
+func rime_payload(i) { return recv_byte(RIME_HDR + i); }
+func rime_payload_len() { return recv_len() - RIME_HDR; }
+
+// Is this node the addressed next hop of the received packet?
+func rime_for_me() { return rime_to() == node_id(); }
+"""
+
+
+def rime_program(application_source: str) -> str:
+    """Compose a complete guest program: Rime library + application code."""
+    return RIME_LIBRARY + "\n" + application_source

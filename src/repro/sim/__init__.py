@@ -1,0 +1,4 @@
+"""Discrete-event simulation primitives (clock + deterministic queues)."""
+
+from .clock import MS, SECONDS, VirtualClock  # noqa: F401
+from .queue import EventQueue  # noqa: F401

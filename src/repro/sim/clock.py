@@ -1,0 +1,43 @@
+"""Virtual time for the simulation.
+
+Time is integral milliseconds.  The clock only moves forward, and only when
+the engine dispatches an event — symbolic execution of an event handler is
+instantaneous in virtual time, exactly like KleeNet's event semantics ("in
+each step KleeNet executes an event of a node and advances the time to the
+next event in the queue").
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock", "MS", "SECONDS"]
+
+MS = 1
+SECONDS = 1000
+
+
+class VirtualClock:
+    """Monotonic virtual clock with a simulation horizon."""
+
+    def __init__(self, horizon: int) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self._now = 0
+        self.horizon = horizon
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    def advance_to(self, time: int) -> None:
+        if time < self._now:
+            raise ValueError(
+                f"virtual time cannot move backwards ({self._now} -> {time})"
+            )
+        self._now = time
+
+    def expired(self, time: int) -> bool:
+        """True when ``time`` lies beyond the simulation horizon."""
+        return time > self.horizon
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(t={self._now}ms, horizon={self.horizon}ms)"

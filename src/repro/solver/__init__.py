@@ -1,0 +1,19 @@
+"""Constraint solver for the symbolic VM (stands in for KLEE's STP).
+
+Sound-and-complete decision procedure for conjunctions of comparisons over
+fixed-width bitvector expressions, built from interval propagation,
+independence partitioning, complete splitting search, and KLEE-style query
+caching.
+"""
+
+from .cache import CacheStats, SolverCache  # noqa: F401
+from .core import (  # noqa: F401
+    SearchBudgetExceeded,
+    Solver,
+    SolverError,
+    UnsatisfiableError,
+)
+from .independence import group_for, partition  # noqa: F401
+from .model import Model  # noqa: F401
+from .propagate import Infeasible, propagate  # noqa: F401
+from .search import ENUMERATION_LIMIT, search  # noqa: F401

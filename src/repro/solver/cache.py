@@ -1,0 +1,105 @@
+"""Query caching for the solver.
+
+Two layers, mirroring KLEE's caching stack:
+
+1. **Exact cache** — the canonical frozenset of conjuncts maps to its
+   result (a model, or None for unsat).  Symbolic execution re-issues nearly
+   identical queries constantly (each branch adds one conjunct to an already
+   solved prefix), and expressions are interned, so hashing a query is cheap.
+2. **Model reuse (counterexample cache)** — before searching, recently
+   produced models are evaluated against the new query; a hit proves
+   satisfiability without any search.  This catches the common "the new
+   conjunct was already true under the old model" case.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..expr import BoolExpr
+from .model import Model
+
+__all__ = ["SolverCache", "CacheStats"]
+
+
+class CacheStats:
+    """Counters exposed for the solver-ablation benchmark."""
+
+    __slots__ = ("exact_hits", "model_reuse_hits", "misses", "stores")
+
+    def __init__(self) -> None:
+        self.exact_hits = 0
+        self.model_reuse_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "exact_hits": self.exact_hits,
+            "model_reuse_hits": self.model_reuse_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(exact={self.exact_hits},"
+            f" reuse={self.model_reuse_hits}, misses={self.misses})"
+        )
+
+
+_MISS = object()
+
+
+class SolverCache:
+    """Bounded LRU cache of query results plus a model-reuse pool."""
+
+    def __init__(self, max_entries: int = 65536, max_models: int = 256) -> None:
+        self._exact: "OrderedDict[FrozenSet[BoolExpr], Optional[Model]]" = (
+            OrderedDict()
+        )
+        self._models: "OrderedDict[Model, None]" = OrderedDict()
+        self._max_entries = max_entries
+        self._max_models = max_models
+        self.stats = CacheStats()
+
+    @staticmethod
+    def key(constraints: Iterable[BoolExpr]) -> FrozenSet[BoolExpr]:
+        return frozenset(constraints)
+
+    def lookup(
+        self, key: FrozenSet[BoolExpr]
+    ) -> Tuple[bool, Optional[Model]]:
+        """Return ``(hit, result)``; result is a Model or None (unsat)."""
+        result = self._exact.get(key, _MISS)
+        if result is not _MISS:
+            self._exact.move_to_end(key)
+            self.stats.exact_hits += 1
+            return True, result  # type: ignore[return-value]
+        # Model reuse: most recently stored models first.
+        for model in reversed(self._models):
+            if model.satisfies(key):
+                self.stats.model_reuse_hits += 1
+                return True, model
+        self.stats.misses += 1
+        return False, None
+
+    def store(self, key: FrozenSet[BoolExpr], result: Optional[Model]) -> None:
+        self.stats.stores += 1
+        self._exact[key] = result
+        self._exact.move_to_end(key)
+        while len(self._exact) > self._max_entries:
+            self._exact.popitem(last=False)
+        if result is not None:
+            self._models[result] = None
+            self._models.move_to_end(result)
+            while len(self._models) > self._max_models:
+                self._models.popitem(last=False)
+
+    def clear(self) -> None:
+        self._exact.clear()
+        self._models.clear()
+
+    def __len__(self) -> int:
+        return len(self._exact)

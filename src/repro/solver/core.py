@@ -1,0 +1,171 @@
+"""The solver facade used by the virtual machine and test-case generator.
+
+:class:`Solver` decides satisfiability of conjunctions of boolean
+expressions over fixed-width bitvector variables.  Pipeline per query:
+
+1. flatten/simplify the conjunction (constant conjuncts short-circuit);
+2. split into independent groups (:mod:`repro.solver.independence`);
+3. per group: consult the cache, otherwise run propagation + search;
+4. merge the per-group models.
+
+The procedure is sound and complete for the expression language of
+:mod:`repro.expr`; a per-query node budget guards against adversarial
+blow-ups and raises rather than silently mis-answering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..expr import BoolAnd, BoolConst, BoolExpr, and_, not_
+from .cache import SolverCache
+from .independence import partition
+from .model import Model
+from .search import SearchBudgetExceeded, search
+
+__all__ = ["Solver", "SolverError", "UnsatisfiableError", "SearchBudgetExceeded"]
+
+
+class SolverError(Exception):
+    """Base class for solver failures."""
+
+
+class UnsatisfiableError(SolverError):
+    """A model was requested for an unsatisfiable constraint set."""
+
+
+class Solver:
+    """Satisfiability oracle with caching.
+
+    A single instance is shared by all execution states of an SDE run (the
+    cache thrives on the cross-state query overlap that forking produces).
+    """
+
+    def __init__(
+        self,
+        use_cache: bool = True,
+        max_nodes: int = 200_000,
+    ) -> None:
+        self._cache = SolverCache() if use_cache else None
+        self._max_nodes = max_nodes
+        self.queries = 0
+        self.sat_results = 0
+        self.unsat_results = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def check(self, constraints: Iterable[BoolExpr]) -> Optional[Model]:
+        """Return a satisfying :class:`Model`, or None if unsatisfiable.
+
+        Variables not mentioned by ``constraints`` are unconstrained; models
+        omit them (consumers default omitted inputs to zero).
+        """
+        self.queries += 1
+        conjuncts = self._normalize(constraints)
+        if conjuncts is None:
+            self.unsat_results += 1
+            return None
+        if not conjuncts:
+            self.sat_results += 1
+            return Model({})
+
+        merged = Model({})
+        for group, group_vars in partition(conjuncts):
+            result = self._solve_group(group, group_vars)
+            if result is None:
+                self.unsat_results += 1
+                return None
+            merged = merged.merged_with(result)
+        self.sat_results += 1
+        return merged
+
+    def is_satisfiable(self, constraints: Iterable[BoolExpr]) -> bool:
+        return self.check(constraints) is not None
+
+    def may_be_true(
+        self, constraints: Sequence[BoolExpr], condition: BoolExpr
+    ) -> bool:
+        """Can ``condition`` hold under ``constraints``?"""
+        return self.is_satisfiable(list(constraints) + [condition])
+
+    def must_be_true(
+        self, constraints: Sequence[BoolExpr], condition: BoolExpr
+    ) -> bool:
+        """Does ``constraints`` entail ``condition``?"""
+        return not self.is_satisfiable(list(constraints) + [not_(condition)])
+
+    def get_model(self, constraints: Iterable[BoolExpr]) -> Model:
+        model = self.check(constraints)
+        if model is None:
+            raise UnsatisfiableError("no model exists")
+        return model
+
+    def iter_models(
+        self, constraints: Iterable[BoolExpr], limit: Optional[int] = None
+    ):
+        """Yield distinct models of ``constraints`` (all of them if finite).
+
+        Classic blocking-clause enumeration: after each model, a disjunct
+        requiring some constrained variable to differ is appended.
+        Variables the constraints do not mention are left out (they would
+        make the model space astronomically large and aren't meaningful).
+        Used for exhaustive failure-pattern enumeration in reports.
+        """
+        from ..expr import bv as _bv
+        from ..expr import ne as _ne
+        from ..expr import or_ as _or
+
+        worklist = list(constraints)
+        variables = sorted(
+            {v for c in worklist for v in c.variables()},
+            key=lambda v: v.name,
+        )
+        produced = 0
+        while limit is None or produced < limit:
+            model = self.check(worklist)
+            if model is None:
+                return
+            yield model.restricted_to(variables)
+            produced += 1
+            if not variables:
+                return  # ground constraints: exactly one (empty) model
+            worklist.append(
+                _or(
+                    *(
+                        _ne(v, _bv(model.get(v.name, 0), v.width))
+                        for v in variables
+                    )
+                )
+            )
+
+    def cache_stats(self) -> Optional[dict]:
+        # NB: `if self._cache` would be False for an *empty* cache (it has
+        # __len__); only a disabled cache should report None.
+        return self._cache.stats.as_dict() if self._cache is not None else None
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _normalize(
+        constraints: Iterable[BoolExpr],
+    ) -> Optional[List[BoolExpr]]:
+        """Flatten into a conjunct list; None signals definite unsat."""
+        combined = and_(*constraints)
+        if isinstance(combined, BoolConst):
+            return [] if combined.value else None
+        if isinstance(combined, BoolAnd):
+            return list(combined.operands)
+        return [combined]
+
+    def _solve_group(
+        self, group: List[BoolExpr], group_vars: frozenset
+    ) -> Optional[Model]:
+        if self._cache is not None:
+            key = SolverCache.key(group)
+            hit, cached = self._cache.lookup(key)
+            if hit:
+                return cached
+        result = search(group, group_vars, max_nodes=self._max_nodes)
+        if self._cache is not None:
+            self._cache.store(key, result)
+        return result

@@ -1,0 +1,102 @@
+"""Independence partitioning of constraint sets.
+
+Two constraints are dependent when they share a variable (directly or
+transitively).  Queries decompose into independent groups that can be solved
+separately and whose models merge trivially — the same optimization KLEE's
+``IndependentSolver`` applies, and the reason per-node path constraints stay
+cheap in SDE: failure decisions of unrelated nodes never end up in the same
+group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..expr import BoolExpr, BVVar
+
+__all__ = ["partition", "group_for"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[object, object] = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent is item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra is not rb:
+            self._parent[ra] = rb
+
+
+def partition(
+    constraints: Sequence[BoolExpr],
+) -> List[Tuple[List[BoolExpr], frozenset]]:
+    """Split ``constraints`` into independent groups.
+
+    Returns a list of ``(constraints, variables)`` pairs.  Ground constraints
+    (no variables) form their own singleton groups.  Order inside each group
+    preserves the input order (deterministic solving).
+    """
+    uf = _UnionFind()
+    constraint_vars: List[frozenset] = []
+    for constraint in constraints:
+        variables = constraint.variables()
+        constraint_vars.append(variables)
+        it = iter(variables)
+        first = next(it, None)
+        if first is None:
+            continue
+        for other in it:
+            uf.union(first, other)
+
+    groups: Dict[object, Tuple[List[BoolExpr], set]] = {}
+    ground: List[Tuple[List[BoolExpr], frozenset]] = []
+    for constraint, variables in zip(constraints, constraint_vars):
+        if not variables:
+            ground.append(([constraint], frozenset()))
+            continue
+        root = uf.find(next(iter(variables)))
+        bucket = groups.get(root)
+        if bucket is None:
+            bucket = ([], set())
+            groups[root] = bucket
+        bucket[0].append(constraint)
+        bucket[1].update(variables)
+
+    out = [(cs, frozenset(vs)) for cs, vs in groups.values()]
+    out.extend(ground)
+    return out
+
+
+def group_for(
+    target_vars: Iterable[BVVar],
+    constraints: Sequence[BoolExpr],
+) -> List[BoolExpr]:
+    """The subset of ``constraints`` transitively related to ``target_vars``.
+
+    Used when solving for specific variables (e.g. generating a test case for
+    one node's inputs): unrelated constraints are dropped before solving.
+    """
+    relevant = set(target_vars)
+    selected: List[BoolExpr] = []
+    remaining = [(c, c.variables()) for c in constraints]
+    progress = True
+    while progress:
+        progress = False
+        still_remaining = []
+        for constraint, variables in remaining:
+            if variables & relevant:
+                selected.append(constraint)
+                relevant |= variables
+                progress = True
+            else:
+                still_remaining.append((constraint, variables))
+        remaining = still_remaining
+    return selected

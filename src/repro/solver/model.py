@@ -1,0 +1,83 @@
+"""Models (satisfying assignments) returned by the solver."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from ..expr import BoolExpr, BVVar, evaluate
+
+__all__ = ["Model"]
+
+
+class Model:
+    """An immutable variable assignment ``name -> unsigned value``.
+
+    The solver guarantees every returned model satisfies the query; the
+    :meth:`satisfies` re-check exists for tests and for model reuse in the
+    cache (checking whether an old model also satisfies a new query).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Dict[str, int]) -> None:
+        self._values = dict(values)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self._values.items()
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def satisfies(self, constraints: Iterable[BoolExpr]) -> bool:
+        """True iff every constraint evaluates to true under this model.
+
+        Variables absent from the model default to 0 — the solver only
+        assigns variables its query mentions, and any completion of a
+        satisfying partial assignment over unmentioned variables also
+        satisfies the query.
+        """
+        env = self._values
+        for constraint in constraints:
+            missing = {
+                v.name: 0 for v in constraint.variables() if v.name not in env
+            }
+            scope = {**env, **missing} if missing else env
+            if not evaluate(constraint, scope):
+                return False
+        return True
+
+    def restricted_to(self, variables: Iterable[BVVar]) -> "Model":
+        names = {v.name for v in variables}
+        return Model({k: v for k, v in self._values.items() if k in names})
+
+    def merged_with(self, other: "Model") -> "Model":
+        merged = dict(self._values)
+        merged.update(other._values)
+        return Model(merged)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Model({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Model):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))

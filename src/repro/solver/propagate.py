@@ -1,0 +1,458 @@
+"""Interval constraint propagation (HC4-style narrowing).
+
+Given a conjunction of boolean constraints asserted *true* and a current
+interval domain per variable, :func:`propagate` shrinks the domains to a
+fixpoint (or detects emptiness).  Soundness contract: a value is only removed
+from a domain if **no** satisfying assignment of the conjunction uses it.
+The search in :mod:`repro.solver.search` relies on exactly this property for
+completeness.
+
+Narrowing is two-phase per constraint:
+
+1. *forward*: evaluate interval approximations bottom-up
+   (:func:`repro.expr.interval.interval_eval`);
+2. *backward*: starting from the requirement that the root comparison holds,
+   push required intervals down to the leaves, intersecting variable domains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..expr import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVBinary,
+    BVConcat,
+    BVConst,
+    BVExpr,
+    BVExtend,
+    BVExtract,
+    BVIte,
+    BVUnary,
+    BVVar,
+    Cmp,
+    Interval,
+    interval_eval,
+    mask,
+    not_,
+    to_signed,
+    to_unsigned,
+)
+from ..expr.interval import cond_verdict, signed_extrema
+
+__all__ = ["propagate", "Infeasible", "narrow_with_constraint"]
+
+# Propagation is a contracting fixpoint, so it terminates on its own; the cap
+# only bounds pathological slow convergence (e.g. x < y < x+1 chains).
+_MAX_ROUNDS = 64
+
+
+class Infeasible(Exception):
+    """The conjunction has no solution under the given domains."""
+
+
+Domains = Dict[BVVar, Interval]
+
+
+def propagate(constraints: Iterable[BoolExpr], domains: Domains) -> bool:
+    """Narrow ``domains`` in place to a fixpoint.
+
+    Returns True if any domain changed.  Raises :class:`Infeasible` when a
+    domain becomes empty or a constraint is definitely false.
+    """
+    constraints = list(constraints)
+    changed_any = False
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for constraint in constraints:
+            if narrow_with_constraint(constraint, domains):
+                changed = True
+        if not changed:
+            break
+        changed_any = True
+    return changed_any
+
+
+def narrow_with_constraint(constraint: BoolExpr, domains: Domains) -> bool:
+    """Narrow domains using a single constraint asserted true."""
+    if isinstance(constraint, BoolConst):
+        if not constraint.value:
+            raise Infeasible("constant-false constraint")
+        return False
+    if isinstance(constraint, BoolAnd):
+        changed = False
+        for operand in constraint.operands:
+            if narrow_with_constraint(operand, domains):
+                changed = True
+        return changed
+    if isinstance(constraint, BoolOr):
+        return _narrow_or(constraint, domains)
+    if isinstance(constraint, BoolNot):
+        inner = constraint.operand
+        # The builder rewrites negated comparisons away; what remains is
+        # not(and/or/var-less) — handle not(or) = and of negations cheaply.
+        if isinstance(inner, BoolOr):
+            changed = False
+            for operand in inner.operands:
+                if narrow_with_constraint(not_(operand), domains):
+                    changed = True
+            return changed
+        if _definitely(inner, domains) is True:
+            raise Infeasible("negated constraint definitely holds")
+        return False
+    if isinstance(constraint, Cmp):
+        return _narrow_cmp(constraint, domains)
+    raise TypeError(f"unexpected constraint node {type(constraint).__name__}")
+
+
+def _definitely(constraint: BoolExpr, domains: Domains) -> Optional[bool]:
+    """Decide a constraint from intervals alone: True/False/None (unknown)."""
+    return cond_verdict(constraint, domains)
+
+
+def _narrow_or(constraint: BoolOr, domains: Domains) -> bool:
+    """Unit propagation on disjunctions.
+
+    If all but one disjunct are definitely false, the survivor must hold.
+    """
+    alive: List[BoolExpr] = []
+    for operand in constraint.operands:
+        verdict = _definitely(operand, domains)
+        if verdict is True:
+            return False
+        if verdict is None:
+            alive.append(operand)
+            if len(alive) > 1:
+                return False
+    if not alive:
+        raise Infeasible("all disjuncts definitely false")
+    return narrow_with_constraint(alive[0], domains)
+
+
+# ---------------------------------------------------------------------------
+# Comparison narrowing
+# ---------------------------------------------------------------------------
+
+
+def _narrow_cmp(constraint: Cmp, domains: Domains) -> bool:
+    left_expr, right_expr = constraint.left, constraint.right
+    width = left_expr.width
+    left = interval_eval(left_expr, domains)
+    right = interval_eval(right_expr, domains)
+    if left.is_empty() or right.is_empty():
+        raise Infeasible("empty operand interval")
+    op = constraint.op
+
+    if op == "eq":
+        both = left.meet(right)
+        if both.is_empty():
+            raise Infeasible("eq over disjoint intervals")
+        changed = _require(left_expr, both, domains)
+        return _require(right_expr, both, domains) or changed
+    if op == "ne":
+        changed = False
+        if right.is_singleton():
+            changed = _require_not_value(left_expr, right.lo, domains) or changed
+        if left.is_singleton():
+            changed = _require_not_value(right_expr, left.lo, domains) or changed
+        if (
+            left.is_singleton()
+            and right.is_singleton()
+            and left.lo == right.lo
+        ):
+            raise Infeasible("ne over equal singletons")
+        return changed
+    if op in ("ult", "ule"):
+        slack = 0 if op == "ule" else 1
+        new_left = Interval(left.lo, right.hi - slack)
+        new_right = Interval(left.lo + slack, right.hi)
+        changed = _require(left_expr, new_left, domains)
+        return _require(right_expr, new_right, domains) or changed
+    if op in ("slt", "sle"):
+        slack = 0 if op == "sle" else 1
+        lmin, _lmax = signed_extrema(left, width)
+        _rmin, rmax = signed_extrema(right, width)
+        changed = _require_signed_range(
+            left_expr, lmin, rmax - slack, width, domains
+        )
+        return (
+            _require_signed_range(
+                right_expr, lmin + slack, rmax, width, domains
+            )
+            or changed
+        )
+    raise TypeError(f"unknown cmp op {op}")
+
+
+def _require_signed_range(
+    expr: BVExpr, smin: int, smax: int, width: int, domains: Domains
+) -> bool:
+    """Require ``smin <= signed(expr) <= smax``.
+
+    The allowed set maps to at most two unsigned intervals (a non-negative
+    prefix and a negative suffix).  The current forward interval is met
+    with both pieces; the hull of the surviving pieces is required — sound,
+    and empty survival is a definite contradiction.
+    """
+    half = 1 << (width - 1)
+    if smin > smax:
+        raise Infeasible("empty signed range")
+    pieces = []
+    nonneg_lo, nonneg_hi = max(smin, 0), min(smax, half - 1)
+    if nonneg_lo <= nonneg_hi:
+        pieces.append(Interval(nonneg_lo, nonneg_hi))
+    neg_lo, neg_hi = max(smin, -half), min(smax, -1)
+    if neg_lo <= neg_hi:
+        pieces.append(
+            Interval(to_unsigned(neg_lo, width), to_unsigned(neg_hi, width))
+        )
+    current = interval_eval(expr, domains)
+    surviving = [
+        piece.meet(current) for piece in pieces
+        if not piece.meet(current).is_empty()
+    ]
+    if not surviving:
+        raise Infeasible("signed range excludes all values")
+    hull = surviving[0]
+    for piece in surviving[1:]:
+        hull = hull.join(piece)
+    if hull == current:
+        return False
+    return _require(expr, hull, domains)
+
+
+def _require_not_value(expr: BVExpr, value: int, domains: Domains) -> bool:
+    """Require ``expr != value``: only prunes when value sits on a boundary."""
+    current = interval_eval(expr, domains)
+    if current.is_singleton() and current.lo == value:
+        raise Infeasible("expression forced to excluded value")
+    if current.lo == value:
+        return _require(expr, Interval(value + 1, current.hi), domains)
+    if current.hi == value:
+        return _require(expr, Interval(current.lo, value - 1), domains)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Backward interval requirement through bitvector operators
+# ---------------------------------------------------------------------------
+
+
+def _require(expr: BVExpr, required: Interval, domains: Domains) -> bool:
+    """Require ``expr``'s value to lie in ``required``; narrow leaf domains.
+
+    Returns True when a variable domain changed; raises Infeasible when the
+    requirement is unsatisfiable.
+    """
+    required = required.meet(Interval.top(expr.width))
+    if required.is_empty():
+        raise Infeasible("empty requirement")
+
+    if isinstance(expr, BVConst):
+        if expr.value not in required:
+            raise Infeasible("constant outside requirement")
+        return False
+
+    if not isinstance(expr, BVVar):
+        # The node's value always lies in its forward interval; meeting the
+        # requirement with it both detects infeasibility early and keeps the
+        # inverted operand bounds tight.
+        required = required.meet(interval_eval(expr, domains))
+        if required.is_empty():
+            raise Infeasible("requirement outside forward interval")
+
+    if isinstance(expr, BVVar):
+        current = domains.get(expr, Interval.top(expr.width))
+        narrowed = current.meet(required)
+        if narrowed.is_empty():
+            raise Infeasible(f"domain of {expr.name} emptied")
+        if narrowed != current:
+            domains[expr] = narrowed
+            return True
+        return False
+
+    if isinstance(expr, BVBinary):
+        return _require_binary(expr, required, domains)
+
+    if isinstance(expr, BVUnary):
+        operand = interval_eval(expr.operand, domains)
+        w = expr.width
+        if expr.op == "bvnot":
+            # not x in [lo,hi]  <=>  x in [mask-hi, mask-lo]
+            return _require(
+                expr.operand,
+                Interval(mask(w) - required.hi, mask(w) - required.lo),
+                domains,
+            )
+        # neg x = 0 - x: invert only when x's interval avoids the wrap at 0.
+        if expr.op == "neg" and operand.lo > 0:
+            top = mask(w) + 1
+            return _require(
+                expr.operand,
+                Interval(top - required.hi, top - required.lo),
+                domains,
+            )
+        return False
+
+    if isinstance(expr, BVIte):
+        then_itv = interval_eval(expr.then, domains)
+        orelse_itv = interval_eval(expr.orelse, domains)
+        then_ok = not then_itv.meet(required).is_empty()
+        orelse_ok = not orelse_itv.meet(required).is_empty()
+        if not then_ok and not orelse_ok:
+            raise Infeasible("both ite branches outside requirement")
+        if then_ok and not orelse_ok:
+            changed = narrow_with_constraint(_as_true(expr.cond), domains)
+            return _require(expr.then, required, domains) or changed
+        if orelse_ok and not then_ok:
+            changed = narrow_with_constraint(not_(_as_true(expr.cond)), domains)
+            return _require(expr.orelse, required, domains) or changed
+        return False
+
+    if isinstance(expr, BVExtract):
+        if expr.low == 0:
+            operand_itv = interval_eval(expr.operand, domains)
+            if operand_itv.hi <= mask(expr.width):
+                return _require(expr.operand, required, domains)
+        return False
+
+    if isinstance(expr, BVExtend):
+        if not expr.signed:
+            inner_top = Interval.top(expr.operand.width)
+            return _require(expr.operand, required.meet(inner_top), domains)
+        return False
+
+    if isinstance(expr, BVConcat):
+        lw = expr.low_part.width
+        changed = False
+        high_req = Interval(required.lo >> lw, required.hi >> lw)
+        changed = _require(expr.high, high_req, domains) or changed
+        if high_req.is_singleton():
+            base = high_req.lo << lw
+            low_req = Interval(
+                max(0, required.lo - base), min(mask(lw), required.hi - base)
+            )
+            changed = _require(expr.low_part, low_req, domains) or changed
+        return changed
+
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _as_true(cond: BoolExpr) -> BoolExpr:
+    return cond
+
+
+def _require_binary(expr: BVBinary, required: Interval, domains: Domains) -> bool:
+    left = interval_eval(expr.left, domains)
+    right = interval_eval(expr.right, domains)
+    w = expr.width
+    op = expr.op
+    top_val = mask(w) + 1
+
+    if op == "add":
+        # Invert only when neither forward direction wraps.
+        if left.hi + right.hi <= mask(w):
+            changed = _require(
+                expr.left,
+                Interval(required.lo - right.hi, required.hi - right.lo),
+                domains,
+            )
+            return (
+                _require(
+                    expr.right,
+                    Interval(required.lo - left.hi, required.hi - left.lo),
+                    domains,
+                )
+                or changed
+            )
+        return False
+
+    if op == "sub":
+        if left.lo - right.hi >= 0:
+            changed = _require(
+                expr.left,
+                Interval(required.lo + right.lo, required.hi + right.hi),
+                domains,
+            )
+            return (
+                _require(
+                    expr.right,
+                    Interval(left.lo - required.hi, left.hi - required.lo),
+                    domains,
+                )
+                or changed
+            )
+        return False
+
+    if op == "mul":
+        if isinstance(expr.right, BVConst) and expr.right.value != 0:
+            c = expr.right.value
+            if left.hi * c <= mask(w):
+                lo = (required.lo + c - 1) // c
+                hi = required.hi // c
+                return _require(expr.left, Interval(lo, hi), domains)
+        return False
+
+    if op == "udiv":
+        if isinstance(expr.right, BVConst) and expr.right.value != 0:
+            c = expr.right.value
+            return _require(
+                expr.left,
+                Interval(required.lo * c, required.hi * c + c - 1),
+                domains,
+            )
+        return False
+
+    if op == "shl":
+        if isinstance(expr.right, BVConst) and expr.right.value < w:
+            c = expr.right.value
+            if left.hi << c <= mask(w):
+                lo = (required.lo + (1 << c) - 1) >> c
+                hi = required.hi >> c
+                return _require(expr.left, Interval(lo, hi), domains)
+        return False
+
+    if op == "lshr":
+        if isinstance(expr.right, BVConst) and expr.right.value < w:
+            c = expr.right.value
+            lo = required.lo << c
+            hi = min(mask(w), (required.hi << c) | ((1 << c) - 1))
+            return _require(expr.left, Interval(lo, hi), domains)
+        return False
+
+    if op == "bvand":
+        if isinstance(expr.right, BVConst):
+            # x & m >= lo implies x >= lo (bits can only be cleared).
+            if required.lo > 0:
+                return _require(
+                    expr.left, Interval(required.lo, mask(w)), domains
+                )
+        return False
+
+    if op == "bvor":
+        # x | m <= hi implies x <= hi (bits can only be set).
+        return _require(expr.left, Interval(0, required.hi), domains)
+
+    if op == "bvxor":
+        if isinstance(expr.right, BVConst) and required.is_singleton():
+            return _require(
+                expr.left, Interval.of(required.lo ^ expr.right.value), domains
+            )
+        return False
+
+    if op == "urem":
+        if isinstance(expr.right, BVConst) and expr.right.value != 0:
+            c = expr.right.value
+            if required.lo > 0 and left.hi < c:
+                # x % c == x when x < c
+                return _require(expr.left, required, domains)
+        return False
+
+    # sdiv/srem/ashr and variable-amount shifts: no backward narrowing;
+    # the search resolves these by splitting.
+    del top_val
+    return False

@@ -1,0 +1,12 @@
+"""The symbolic virtual machine (KLEE stand-in).
+
+Executes compiled NSL bytecode over states whose memory cells may hold
+symbolic expressions, forking on symbolic control flow and producing error
+states for detected defects.
+"""
+
+from .coverage import CoverageReport, FunctionCoverage, coverage_report  # noqa: F401
+from .errors import ErrorKind, GuestError  # noqa: F401
+from .executor import Executor, NullHost, SyscallHost  # noqa: F401
+from .state import CellValue, Event, ExecutionState, Status  # noqa: F401
+from .syscalls import SyscallAbort  # noqa: F401

@@ -1,0 +1,71 @@
+"""Guest-program error classification.
+
+When symbolic execution drives a state into a defect, the state is not an
+exception in the host — it becomes an *error state* carrying a
+:class:`GuestError`.  The engine collects error states and the test-case
+generator solves their path constraints into concrete reproducing inputs,
+exactly like KLEE's ``.err`` outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["GuestError", "ErrorKind"]
+
+
+class ErrorKind:
+    """Symbolic-execution-detected defect categories."""
+
+    ASSERTION = "assertion-failure"
+    OUT_OF_BOUNDS = "out-of-bounds-access"
+    DIVISION_BY_ZERO = "division-by-zero"
+    EXPLICIT_FAIL = "explicit-fail"
+    STEP_LIMIT = "step-limit-exceeded"
+    STACK_OVERFLOW = "call-stack-overflow"
+    BAD_SYSCALL = "invalid-syscall-arguments"
+
+    ALL = (
+        ASSERTION,
+        OUT_OF_BOUNDS,
+        DIVISION_BY_ZERO,
+        EXPLICIT_FAIL,
+        STEP_LIMIT,
+        STACK_OVERFLOW,
+        BAD_SYSCALL,
+    )
+
+
+class GuestError:
+    """A defect observed in one execution state."""
+
+    __slots__ = ("kind", "message", "line", "code")
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        line: int = 0,
+        code: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.message = message
+        self.line = line
+        self.code = code
+
+    def __repr__(self) -> str:
+        location = f" (line {self.line})" if self.line else ""
+        return f"GuestError[{self.kind}] {self.message}{location}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GuestError):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.message == other.message
+            and self.line == other.line
+            and self.code == other.code
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.message, self.line, self.code))

@@ -1,0 +1,761 @@
+"""The symbolic bytecode interpreter.
+
+:class:`Executor` runs one node-local *event* (boot, timer expiry, packet
+reception) of one :class:`~repro.vm.state.ExecutionState` to completion.
+Executing an event may *fork* the state wherever control depends on
+symbolic data:
+
+- conditional jumps whose condition is symbolic and both-ways feasible;
+- array accesses with symbolic indices (concretized per feasible value,
+  plus an out-of-bounds error path when reachable);
+- division/modulo with a possibly-zero symbolic divisor;
+- failed or undecided ``assert()``.
+
+Fork notifications are delivered through the ``on_fork`` callback — this is
+the hook the COB state-mapping algorithm attaches to ("mapping on local
+branch"), while COW/SDS react to transmissions via the syscall host instead.
+
+The executor is deliberately ignorant of networking: everything beyond pure
+computation goes through a :class:`SyscallHost`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..expr import (
+    as_bv,
+    add as bv_add,
+    ashr as bv_ashr,
+    bv,
+    bvand as bv_and,
+    bvnot as bv_not,
+    bvor as bv_or,
+    bvxor as bv_xor,
+    eq,
+    ite,
+    lshr as bv_lshr,
+    mul as bv_mul,
+    ne,
+    neg as bv_neg,
+    not_,
+    sdiv as bv_sdiv,
+    shl as bv_shl,
+    sle,
+    slt,
+    srem as bv_srem,
+    sub as bv_sub,
+    to_signed,
+    udiv as bv_udiv,
+    uge,
+    ule,
+    ult,
+    urem as bv_urem,
+    var,
+    zext,
+)
+from ..lang.bytecode import CompiledProgram, Op
+from ..solver import Solver
+from .errors import ErrorKind, GuestError
+from .state import CellValue, ExecutionState, Status
+from .syscalls import SyscallAbort
+
+__all__ = ["Executor", "SyscallHost", "NullHost"]
+
+_MASK32 = 0xFFFFFFFF
+_RETURN_SENTINEL = -1
+
+ForkCallback = Callable[[ExecutionState, List[ExecutionState]], None]
+
+
+class SyscallHost:
+    """Interface the engine/OS library implements for host syscalls.
+
+    The executor resolves pure builtins itself; everything touching node
+    identity, time, timers or the network lands here.  Implementations must
+    return the syscall's result value (int or expression).
+    """
+
+    def syscall(
+        self, state: ExecutionState, name: str, args: List[CellValue]
+    ) -> CellValue:
+        raise NotImplementedError(name)
+
+
+class NullHost(SyscallHost):
+    """Host for single-node, network-less execution (tests, quickstart)."""
+
+    def syscall(self, state, name, args):
+        if name == "node_id":
+            return state.node
+        if name == "node_count":
+            return 1
+        if name == "time":
+            return state.clock
+        if name in ("timer_set", "timer_stop"):
+            return 0
+        raise NotImplementedError(f"syscall {name!r} needs a network engine")
+
+
+# Syscalls the executor implements without consulting the host.
+_PURE_SYSCALLS = frozenset(
+    ["symbolic", "assume", "assert", "fail", "peek", "poke", "lshr", "min",
+     "max", "abs", "log"]
+)
+
+
+class Executor:
+    """Interprets compiled NSL under symbolic semantics."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        solver: Optional[Solver] = None,
+        host: Optional[SyscallHost] = None,
+        max_steps_per_event: int = 1_000_000,
+    ) -> None:
+        self.program = program
+        self.solver = solver if solver is not None else Solver()
+        self.host = host if host is not None else NullHost()
+        self.max_steps_per_event = max_steps_per_event
+        self.instructions_executed = 0
+        self.forks = 0
+        #: every program counter ever dispatched, across all states — the
+        #: raw data behind repro.vm.coverage.coverage_report.
+        self.visited_pcs = set()
+
+    # -- state construction ---------------------------------------------------
+
+    def make_initial_state(self, node: int = 0) -> ExecutionState:
+        """A fresh idle state with global initializers applied."""
+        state = ExecutionState(node, self.program.memory_size)
+        for address, value in self.program.initializers:
+            state.memory[address] = value & _MASK32
+        return state
+
+    # -- event driving ----------------------------------------------------------
+
+    def start_event(
+        self, state: ExecutionState, func_name: str, args: Sequence[int] = ()
+    ) -> None:
+        """Position ``state`` at the entry of ``func_name`` with ``args``."""
+        func = self.program.function(func_name)
+        if func is None:
+            raise KeyError(f"program has no function {func_name!r}")
+        if len(args) != len(func.params):
+            raise ValueError(
+                f"{func_name} expects {len(func.params)} args, got {len(args)}"
+            )
+        for offset, value in enumerate(args):
+            state.memory[func.param_base + offset] = _mask_cell(value)
+        state.pc = func.entry
+        state.call_stack = [_RETURN_SENTINEL]
+        state.opstack = []
+        state.status = Status.RUNNING
+        state.steps = 0
+
+    def run_event(
+        self,
+        state: ExecutionState,
+        func_name: str,
+        args: Sequence[int] = (),
+        on_fork: Optional[ForkCallback] = None,
+    ) -> List[ExecutionState]:
+        """Run one event to completion on ``state`` and all its forks.
+
+        Returns every resulting state: completed ones are ``IDLE``; defective
+        ones are ``ERROR``; contradicted ones are ``INFEASIBLE``.
+        """
+        self.start_event(state, func_name, args)
+        return self.resume_event(state, on_fork)
+
+    def resume_event(
+        self,
+        state: ExecutionState,
+        on_fork: Optional[ForkCallback] = None,
+    ) -> List[ExecutionState]:
+        """Drive an already-positioned RUNNING state to event completion."""
+        active = [state]
+        done: List[ExecutionState] = []
+        while active:
+            current = active.pop()
+            successors = self._run_until_fork(current)
+            if len(successors) > 1:
+                self.forks += len(successors) - 1
+                if on_fork is not None:
+                    on_fork(
+                        current, [s for s in successors if s is not current]
+                    )
+            for successor in successors:
+                if successor.status == Status.RUNNING:
+                    active.append(successor)
+                else:
+                    done.append(successor)
+        return done
+
+    def step(self, state: ExecutionState) -> List[ExecutionState]:
+        """Execute exactly one instruction (test/debug entry point)."""
+        return self._execute(state, single=True)
+
+    # -- the interpreter loop ------------------------------------------------------
+
+    def _run_until_fork(self, state: ExecutionState) -> List[ExecutionState]:
+        return self._execute(state, single=False)
+
+    def _execute(
+        self, state: ExecutionState, single: bool
+    ) -> List[ExecutionState]:
+        """Run ``state`` until it forks, finishes its event, or dies.
+
+        Returns the list of successor states (always containing ``state``
+        itself unless it was replaced — it never is; mutation in place).
+        """
+        code = self.program.code
+        memory = state.memory
+        opstack = state.opstack
+        visited = self.visited_pcs
+
+        while True:
+            if state.steps >= self.max_steps_per_event:
+                return [
+                    self._die(
+                        state,
+                        GuestError(
+                            ErrorKind.STEP_LIMIT,
+                            f"event exceeded {self.max_steps_per_event} steps",
+                        ),
+                    )
+                ]
+            instr = code[state.pc]
+            op = instr.op
+            visited.add(state.pc)
+            state.pc += 1
+            state.steps += 1
+            self.instructions_executed += 1
+
+            if op == Op.PUSH:
+                opstack.append(instr.arg)
+            elif op == Op.LOAD:
+                opstack.append(memory[instr.arg])
+            elif op == Op.STORE:
+                memory[instr.arg] = _mask_cell(opstack.pop())
+            elif op == Op.LOADI:
+                outcome = self._indexed(state, instr, load=True)
+                if outcome is not None:
+                    return outcome
+            elif op == Op.STOREI:
+                outcome = self._indexed(state, instr, load=False)
+                if outcome is not None:
+                    return outcome
+            elif Op.ADD <= op <= Op.BNOT:
+                outcome = self._arith(state, op, instr.line)
+                if outcome is not None:
+                    return outcome
+            elif Op.EQ <= op <= Op.BOOL:
+                self._compare(state, op)
+            elif op == Op.JMP:
+                state.pc = instr.arg
+            elif op == Op.JZ or op == Op.JNZ:
+                outcome = self._branch(state, op, instr.arg)
+                if outcome is not None:
+                    return outcome
+            elif op == Op.CALL:
+                func_index, nargs = instr.arg
+                func = self.program.functions[func_index]
+                if len(state.call_stack) > 64:
+                    return [
+                        self._die(
+                            state,
+                            GuestError(
+                                ErrorKind.STACK_OVERFLOW,
+                                "call stack exceeded 64 frames",
+                                instr.line,
+                            ),
+                        )
+                    ]
+                for offset in range(nargs - 1, -1, -1):
+                    memory[func.param_base + offset] = _mask_cell(opstack.pop())
+                state.call_stack.append(state.pc)
+                state.pc = func.entry
+            elif op == Op.RET:
+                return_pc = state.call_stack.pop()
+                if return_pc == _RETURN_SENTINEL:
+                    opstack.pop()  # discard the handler's return value
+                    state.status = Status.IDLE
+                    return [state]
+                state.pc = return_pc
+            elif op == Op.SYS:
+                outcome = self._syscall(state, instr)
+                if outcome is not None:
+                    return outcome
+            elif op == Op.POP:
+                opstack.pop()
+            elif op == Op.DUP:
+                opstack.append(opstack[-1])
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise AssertionError(f"unhandled opcode {op!r}")
+
+            if single:
+                return [state]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _die(
+        self, state: ExecutionState, error: GuestError
+    ) -> ExecutionState:
+        state.status = Status.ERROR
+        state.error = error
+        return state
+
+    def _feasible(self, state: ExecutionState, condition) -> bool:
+        return self.solver.may_be_true(state.constraints, condition)
+
+    # .. arithmetic ..................................................................
+
+    def _arith(self, state, op, line) -> Optional[List[ExecutionState]]:
+        opstack = state.opstack
+        if op == Op.NEG or op == Op.BNOT:
+            value = opstack.pop()
+            if isinstance(value, int):
+                result = (-value if op == Op.NEG else ~value) & _MASK32
+            else:
+                result = bv_neg(value) if op == Op.NEG else bv_not(value)
+            opstack.append(result)
+            return None
+        right = opstack.pop()
+        left = opstack.pop()
+        if op in _DIVISIVE:
+            return self._divide(state, op, left, right, line)
+        if isinstance(left, int) and isinstance(right, int):
+            opstack.append(_CONCRETE_ARITH[op](left, right))
+        else:
+            opstack.append(_SYMBOLIC_ARITH[op](as_bv(left), as_bv(right)))
+        return None
+
+    def _divide(
+        self, state, op, left, right, line
+    ) -> Optional[List[ExecutionState]]:
+        """Division with a division-by-zero error path."""
+        successors: List[ExecutionState] = []
+        if isinstance(right, int):
+            if right == 0:
+                return [
+                    self._die(
+                        state,
+                        GuestError(
+                            ErrorKind.DIVISION_BY_ZERO, "division by zero", line
+                        ),
+                    )
+                ]
+        else:
+            zero_cond = eq(right, bv(0))
+            if self._feasible(state, zero_cond):
+                if self._feasible(state, not_(zero_cond)):
+                    error_twin = state.fork()
+                    error_twin.add_constraint(zero_cond)
+                    self._die(
+                        error_twin,
+                        GuestError(
+                            ErrorKind.DIVISION_BY_ZERO,
+                            "division by zero (symbolic divisor)",
+                            line,
+                        ),
+                    )
+                    state.add_constraint(not_(zero_cond))
+                    successors.append(error_twin)
+                else:
+                    return [
+                        self._die(
+                            state,
+                            GuestError(
+                                ErrorKind.DIVISION_BY_ZERO,
+                                "divisor is always zero",
+                                line,
+                            ),
+                        )
+                    ]
+        if isinstance(left, int) and isinstance(right, int):
+            state.opstack.append(_CONCRETE_ARITH[op](left, right))
+        else:
+            state.opstack.append(
+                _SYMBOLIC_ARITH[op](as_bv(left), as_bv(right))
+            )
+        if successors:
+            return [state] + successors
+        return None
+
+    # .. comparisons .................................................................
+
+    def _compare(self, state, op) -> None:
+        opstack = state.opstack
+        if op == Op.LNOT or op == Op.BOOL:
+            value = opstack.pop()
+            if isinstance(value, int):
+                truthy = value != 0
+                opstack.append(int(truthy) if op == Op.BOOL else int(not truthy))
+            else:
+                condition = ne(value, bv(0))
+                if op == Op.LNOT:
+                    condition = not_(condition)
+                opstack.append(ite(condition, bv(1), bv(0)))
+            return
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            opstack.append(int(_CONCRETE_CMP[op](left, right)))
+        else:
+            condition = _SYMBOLIC_CMP[op](as_bv(left), as_bv(right))
+            opstack.append(ite(condition, bv(1), bv(0)))
+
+    # .. branches ......................................................................
+
+    def _branch(self, state, op, target) -> Optional[List[ExecutionState]]:
+        value = state.opstack.pop()
+        jump_on_zero = op == Op.JZ
+        if isinstance(value, int):
+            taken = (value == 0) == jump_on_zero
+            if taken:
+                state.pc = target
+            return None
+        zero_cond = eq(value, bv(0))
+        feasible_zero = self._feasible(state, zero_cond)
+        feasible_nonzero = self._feasible(state, not_(zero_cond))
+        if feasible_zero and feasible_nonzero:
+            # Fork: the original takes the fall-through; the twin jumps...
+            # conditions depend on which of JZ/JNZ we are executing.
+            twin = state.fork()
+            twin.pc = target
+            if jump_on_zero:
+                twin.add_constraint(zero_cond)
+                state.add_constraint(not_(zero_cond))
+            else:
+                twin.add_constraint(not_(zero_cond))
+                state.add_constraint(zero_cond)
+            return [state, twin]
+        if not feasible_zero and not feasible_nonzero:
+            state.status = Status.INFEASIBLE
+            return [state]
+        zero_holds = feasible_zero
+        if zero_holds == jump_on_zero:
+            state.pc = target
+        # The direction is implied by the path condition: no constraint added.
+        return None
+
+    # .. indexed memory access ..........................................................
+
+    def _indexed(self, state, instr, load: bool) -> Optional[List[ExecutionState]]:
+        base, size = instr.arg
+        opstack = state.opstack
+        value: CellValue = 0
+        if not load:
+            value = _mask_cell(opstack.pop())
+        index = opstack.pop()
+
+        if isinstance(index, int):
+            if index >= size:  # negative indices wrap to huge unsigned values
+                return [
+                    self._die(
+                        state,
+                        GuestError(
+                            ErrorKind.OUT_OF_BOUNDS,
+                            f"index {to_signed(index, 32)} outside [0, {size})",
+                            instr.line,
+                        ),
+                    )
+                ]
+            if load:
+                opstack.append(state.memory[base + index])
+            else:
+                state.memory[base + index] = value
+            return None
+
+        # Symbolic index: concretize over feasible in-bounds values; spawn an
+        # error state if out-of-bounds is reachable (KLEE-style).
+        successors: List[ExecutionState] = []
+        oob = uge(index, bv(size))
+        if self._feasible(state, oob):
+            error_twin = state.fork()
+            error_twin.add_constraint(oob)
+            self._die(
+                error_twin,
+                GuestError(
+                    ErrorKind.OUT_OF_BOUNDS,
+                    f"symbolic index may fall outside [0, {size})",
+                    instr.line,
+                ),
+            )
+            successors.append(error_twin)
+
+        feasible_values = [
+            concrete
+            for concrete in range(size)
+            if self._feasible(state, eq(index, bv(concrete)))
+        ]
+        if not feasible_values and not successors:
+            state.status = Status.INFEASIBLE
+            return [state]
+
+        variants: List[ExecutionState] = []
+        for position, concrete in enumerate(feasible_values):
+            variant = state if position == 0 else state.fork()
+            variants.append(variant)
+        # Constrain and apply after forking so forks share the pre-access state.
+        for variant, concrete in zip(variants, feasible_values):
+            variant.add_constraint(eq(index, bv(concrete)))
+            if load:
+                variant.opstack.append(variant.memory[base + concrete])
+            else:
+                variant.memory[base + concrete] = value
+        result = variants + successors
+        if len(result) == 1 and result[0] is state and not successors:
+            return None  # single feasible value, no fork happened
+        return result
+
+    # .. syscalls ...........................................................................
+
+    def _syscall(self, state, instr) -> Optional[List[ExecutionState]]:
+        name, nargs = instr.arg
+        opstack = state.opstack
+        args = [opstack.pop() for _ in range(nargs)]
+        args.reverse()
+
+        if name not in _PURE_SYSCALLS:
+            try:
+                result = self.host.syscall(state, name, args)
+            except SyscallAbort as abort:
+                abort.error.line = instr.line
+                return [self._die(state, abort.error)]
+            opstack.append(_mask_cell(result))
+            return None
+
+        if name == "symbolic":
+            return self._sys_symbolic(state, args, instr.line)
+        if name == "assume":
+            return self._sys_assume(state, args[0])
+        if name == "assert":
+            return self._sys_assert(state, args, instr.line)
+        if name == "fail":
+            code = args[0] if isinstance(args[0], int) else None
+            return [
+                self._die(
+                    state,
+                    GuestError(
+                        ErrorKind.EXPLICIT_FAIL,
+                        f"fail({code if code is not None else '<symbolic>'})",
+                        instr.line,
+                        code,
+                    ),
+                )
+            ]
+        if name == "peek" or name == "poke":
+            address = args[0]
+            if not isinstance(address, int) or address >= len(state.memory):
+                return [
+                    self._die(
+                        state,
+                        GuestError(
+                            ErrorKind.BAD_SYSCALL,
+                            f"{name} needs a concrete in-range address",
+                            instr.line,
+                        ),
+                    )
+                ]
+            if name == "peek":
+                opstack.append(state.memory[address])
+            else:
+                state.memory[address] = _mask_cell(args[1])
+                opstack.append(0)
+            return None
+        if name == "lshr":
+            left, right = args
+            if isinstance(left, int) and isinstance(right, int):
+                opstack.append(0 if right >= 32 else left >> right)
+            else:
+                opstack.append(bv_lshr(as_bv(left), as_bv(right)))
+            return None
+        if name == "min" or name == "max":
+            left, right = args
+            if isinstance(left, int) and isinstance(right, int):
+                sl, sr = to_signed(left, 32), to_signed(right, 32)
+                chosen = min(sl, sr) if name == "min" else max(sl, sr)
+                opstack.append(chosen & _MASK32)
+            else:
+                l, r = as_bv(left), as_bv(right)
+                condition = slt(l, r)
+                opstack.append(
+                    ite(condition, l, r) if name == "min" else ite(condition, r, l)
+                )
+            return None
+        if name == "abs":
+            value = args[0]
+            if isinstance(value, int):
+                opstack.append(abs(to_signed(value, 32)) & _MASK32)
+            else:
+                opstack.append(ite(slt(value, bv(0)), bv_neg(value), value))
+            return None
+        if name == "log":
+            recorded = tuple(
+                arg if isinstance(arg, int) else arg for arg in args
+            )
+            state.trace = state.trace + (recorded,)
+            opstack.append(0)
+            return None
+        raise AssertionError(f"unhandled pure syscall {name!r}")
+
+    def _sys_symbolic(self, state, args, line) -> Optional[List[ExecutionState]]:
+        tag_index = args[0]
+        width = args[1] if len(args) > 1 else 32
+        if not isinstance(tag_index, int) or not isinstance(width, int):
+            return [
+                self._die(
+                    state,
+                    GuestError(
+                        ErrorKind.BAD_SYSCALL,
+                        "symbolic() needs a literal tag and width",
+                        line,
+                    ),
+                )
+            ]
+        if not 1 <= width <= 32 or tag_index >= len(self.program.strings):
+            return [
+                self._die(
+                    state,
+                    GuestError(
+                        ErrorKind.BAD_SYSCALL,
+                        f"symbolic(): bad width {width} or tag",
+                        line,
+                    ),
+                )
+            ]
+        tag = self.program.strings[tag_index]
+        name = state.fresh_symbol_name(tag)
+        symbol = var(name, width)
+        state.symbolics.append((name, width))
+        state.opstack.append(zext(symbol, 32) if width < 32 else symbol)
+        return None
+
+    def _sys_assume(self, state, value) -> Optional[List[ExecutionState]]:
+        if isinstance(value, int):
+            if value == 0:
+                state.status = Status.INFEASIBLE
+                return [state]
+            state.opstack.append(0)
+            return None
+        condition = ne(value, bv(0))
+        if not self._feasible(state, condition):
+            state.status = Status.INFEASIBLE
+            return [state]
+        state.add_constraint(condition)
+        state.opstack.append(0)
+        return None
+
+    def _sys_assert(self, state, args, line) -> Optional[List[ExecutionState]]:
+        value = args[0]
+        code = None
+        if len(args) > 1 and isinstance(args[1], int):
+            code = args[1]
+        if isinstance(value, int):
+            if value != 0:
+                state.opstack.append(0)
+                return None
+            return [
+                self._die(
+                    state,
+                    GuestError(ErrorKind.ASSERTION, "assertion failed", line, code),
+                )
+            ]
+        holds = ne(value, bv(0))
+        can_fail = self._feasible(state, not_(holds))
+        can_pass = self._feasible(state, holds)
+        if not can_fail:
+            state.opstack.append(0)
+            return None
+        if not can_pass:
+            return [
+                self._die(
+                    state,
+                    GuestError(
+                        ErrorKind.ASSERTION, "assertion always fails", line, code
+                    ),
+                )
+            ]
+        error_twin = state.fork()
+        error_twin.add_constraint(not_(holds))
+        self._die(
+            error_twin,
+            GuestError(
+                ErrorKind.ASSERTION, "assertion may fail", line, code
+            ),
+        )
+        state.add_constraint(holds)
+        state.opstack.append(0)
+        return [state, error_twin]
+
+
+def _mask_cell(value: CellValue) -> CellValue:
+    return value & _MASK32 if isinstance(value, int) else value
+
+
+def _concrete_sdiv(a: int, b: int) -> int:
+    sa, sb = to_signed(a, 32), to_signed(b, 32)
+    quotient = abs(sa) // abs(sb)
+    return (-quotient if (sa < 0) != (sb < 0) else quotient) & _MASK32
+
+
+def _concrete_srem(a: int, b: int) -> int:
+    sa, sb = to_signed(a, 32), to_signed(b, 32)
+    remainder = abs(sa) % abs(sb)
+    return (-remainder if sa < 0 else remainder) & _MASK32
+
+
+_CONCRETE_ARITH = {
+    Op.ADD: lambda a, b: (a + b) & _MASK32,
+    Op.SUB: lambda a, b: (a - b) & _MASK32,
+    Op.MUL: lambda a, b: (a * b) & _MASK32,
+    Op.SDIV: _concrete_sdiv,
+    Op.SREM: _concrete_srem,
+    Op.UDIV: lambda a, b: a // b,
+    Op.UREM: lambda a, b: a % b,
+    Op.BAND: lambda a, b: a & b,
+    Op.BOR: lambda a, b: a | b,
+    Op.BXOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: 0 if b >= 32 else (a << b) & _MASK32,
+    Op.ASHR: lambda a, b: (to_signed(a, 32) >> min(b, 31)) & _MASK32,
+    Op.LSHR: lambda a, b: 0 if b >= 32 else a >> b,
+}
+
+_SYMBOLIC_ARITH = {
+    Op.ADD: bv_add,
+    Op.SUB: bv_sub,
+    Op.MUL: bv_mul,
+    Op.SDIV: bv_sdiv,
+    Op.SREM: bv_srem,
+    Op.UDIV: bv_udiv,
+    Op.UREM: bv_urem,
+    Op.BAND: bv_and,
+    Op.BOR: bv_or,
+    Op.BXOR: bv_xor,
+    Op.SHL: bv_shl,
+    Op.ASHR: bv_ashr,
+    Op.LSHR: bv_lshr,
+}
+
+_DIVISIVE = frozenset([Op.SDIV, Op.SREM, Op.UDIV, Op.UREM])
+
+_CONCRETE_CMP = {
+    Op.EQ: lambda a, b: a == b,
+    Op.NE: lambda a, b: a != b,
+    Op.SLT: lambda a, b: to_signed(a, 32) < to_signed(b, 32),
+    Op.SLE: lambda a, b: to_signed(a, 32) <= to_signed(b, 32),
+    Op.ULT: lambda a, b: a < b,
+    Op.ULE: lambda a, b: a <= b,
+}
+
+_SYMBOLIC_CMP = {
+    Op.EQ: eq,
+    Op.NE: ne,
+    Op.SLT: slt,
+    Op.SLE: sle,
+    Op.ULT: ult,
+    Op.ULE: ule,
+}

@@ -1,0 +1,21 @@
+"""Syscall abort channel between hosts and the executor.
+
+A :class:`SyscallHost` implementation signals a guest-level misuse (symbolic
+timer delay, buffer out of range, ...) by raising :class:`SyscallAbort`; the
+executor converts it into an error state on the calling path instead of
+crashing the whole SDE run.
+"""
+
+from __future__ import annotations
+
+from .errors import ErrorKind, GuestError
+
+__all__ = ["SyscallAbort"]
+
+
+class SyscallAbort(Exception):
+    """Raised by a host to turn the current state into an error state."""
+
+    def __init__(self, message: str, kind: str = ErrorKind.BAD_SYSCALL) -> None:
+        super().__init__(message)
+        self.error = GuestError(kind, message)

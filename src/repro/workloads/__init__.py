@@ -1,0 +1,22 @@
+"""Evaluation scenarios: the paper's grids, the line example, the flooding
+limitation case, and the guest programs they run."""
+
+from .dissemination import (  # noqa: F401
+    DISSEMINATION_APP,
+    dissemination_scenario,
+    first_gossip_packet,
+)
+from .flood import flood_scenario  # noqa: F401
+from .grid import PAPER_SIZES, grid_scenario, paper_grid_scenario  # noqa: F401
+from .line import line_scenario  # noqa: F401
+from .programs import (  # noqa: F401
+    BUGGY_DEDUP_APP,
+    COLLECT_APP,
+    FLOOD_APP,
+    PING_PONG_APP,
+    branch_storm_program,
+    buggy_dedup_program,
+    collect_program,
+    first_collect_packet,
+    flood_program,
+)

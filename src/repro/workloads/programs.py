@@ -1,0 +1,249 @@
+"""Guest (NSL) programs used by the evaluation scenarios.
+
+These are the "unmodified node software" of the reproduction — the engine
+never special-cases them.  The data-collection application mirrors the
+paper's Contiki/Rime scenario: a source node produces a reading every
+second; on-path nodes forward it hop by hop along a preconfigured static
+route; the sink counts deliveries.
+"""
+
+from __future__ import annotations
+
+from ..net.packet import Packet
+from ..oslib.rime import HEADER_CELLS, KIND_COLLECT, rime_program
+
+__all__ = [
+    "COLLECT_APP",
+    "collect_program",
+    "first_collect_packet",
+    "FLOOD_APP",
+    "flood_program",
+    "branch_storm_program",
+    "PING_PONG_APP",
+    "BUGGY_DEDUP_APP",
+]
+
+
+def first_collect_packet(packet: Packet) -> bool:
+    """Is this a leg of the flow's *first* data packet (Rime seq 0)?
+
+    The paper's failure setup injects the symbolic drop "during reception
+    of the first packet"; this is the filter the collect scenarios hand to
+    the failure models.  Cells may be symbolic in other workloads, so only
+    concrete values match.
+    """
+    payload = packet.payload
+    return (
+        len(payload) >= HEADER_CELLS
+        and payload[0] == KIND_COLLECT
+        and payload[3] == 0
+    )
+
+# ---------------------------------------------------------------------------
+# The paper's grid data-collection application (Section IV-A).
+# ---------------------------------------------------------------------------
+
+COLLECT_APP = """
+// ---- data-collection application ----
+var rime_source = 0;   // preset: the producing node
+var send_period = 0;   // preset: milliseconds between readings
+var sends_left = 0;    // preset: how many readings to produce
+var reading = 0;       // the "sensor" value
+
+var delivered = 0;     // sink: packets that arrived
+var forwarded = 0;     // relays: packets passed on
+var last_seq = 0;      // sink: last sequence number seen
+
+func on_boot() {
+    // Any node with a sending budget is a source (the paper's scenario
+    // presets exactly one; multi-flow variants preset several).
+    if (sends_left > 0) {
+        timer_set(0, send_period + node_id());
+    }
+}
+
+func on_timer(tid) {
+    var payload[1];
+    payload[0] = reading;
+    reading += 1;
+    collect_send(payload, 1);
+    sends_left -= 1;
+    if (sends_left > 0) {
+        timer_set(0, send_period);
+    }
+}
+
+func on_recv(src, len) {
+    if (rime_kind() != RIME_KIND_COLLECT) { return; }
+    if (!rime_for_me()) { return; }
+    if (node_id() == rime_sink) {
+        delivered += 1;
+        last_seq = rime_seq();
+    } else {
+        forwarded += 1;
+        collect_forward();
+    }
+}
+"""
+
+
+def collect_program() -> str:
+    """Rime library + collection app, ready to compile."""
+    return rime_program(COLLECT_APP)
+
+
+# ---------------------------------------------------------------------------
+# The limitation scenario (Section IV-C): continuous flooding, full mesh.
+# ---------------------------------------------------------------------------
+
+FLOOD_APP = """
+// ---- continuous broadcast flooding (worst case for SDE) ----
+var flood_period = 0;  // preset
+var floods_left = 0;   // preset
+var heard = 0;
+
+func on_boot() {
+    // Stagger starts so transmissions do not collide on one timestamp.
+    timer_set(0, flood_period + node_id());
+}
+
+func on_timer(tid) {
+    var buf[2];
+    buf[0] = node_id();
+    buf[1] = heard;
+    bc_send(buf, 2);
+    floods_left -= 1;
+    if (floods_left > 0) {
+        timer_set(0, flood_period);
+    }
+}
+
+func on_recv(src, len) {
+    heard += 1;
+}
+"""
+
+
+def flood_program() -> str:
+    return FLOOD_APP
+
+
+# ---------------------------------------------------------------------------
+# The Section III-E adversary: every step branches symbolically.
+# ---------------------------------------------------------------------------
+
+
+def branch_storm_program(depth: int) -> str:
+    """A program whose boot handler evaluates ``depth`` symbolic branches.
+
+    Under COB this drives the dscenario count to ``(2^k)^depth`` for a
+    k-node network — the worst case of Section III-E.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    branches = "\n".join(
+        f'    if (symbolic("b{i}")) {{ hits += 1; }}' for i in range(depth)
+    )
+    return f"""
+var hits = 0;
+
+func on_boot() {{
+{branches}
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# A two-node request/response protocol (examples + integration tests).
+# ---------------------------------------------------------------------------
+
+PING_PONG_APP = """
+// ---- ping/pong: node 0 pings node 1, node 1 echoes +1 ----
+var pings = 0;     // preset on node 0
+var got_pong = 0;
+var rtt_seq = 0;
+
+func on_boot() {
+    if (node_id() == 0 && pings > 0) { timer_set(0, 50); }
+}
+
+func on_timer(tid) {
+    var buf[2];
+    buf[0] = 1;        // ping
+    buf[1] = rtt_seq;
+    uc_send(1, buf, 2);
+    pings -= 1;
+    if (pings > 0) { timer_set(0, 50); }
+}
+
+func on_recv(src, len) {
+    var kind = recv_byte(0);
+    if (node_id() == 1 && kind == 1) {
+        var buf[2];
+        buf[0] = 2;    // pong
+        buf[1] = recv_byte(1) + 1;
+        uc_send(0, buf, 2);
+    }
+    if (node_id() == 0 && kind == 2) {
+        got_pong += 1;
+        rtt_seq = recv_byte(1);
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# A seeded distributed bug for the bug-hunting example: the sink's duplicate
+# suppression assumes strictly increasing sequence numbers, but a packet
+# drop at a relay makes the sink see a gap — and the (buggy) freshness check
+# `seq == expected` then discards every later reading for good.
+# ---------------------------------------------------------------------------
+
+BUGGY_DEDUP_APP = """
+// ---- collection with a buggy duplicate filter at the sink ----
+var rime_source = 0;
+var send_period = 0;
+var sends_left = 0;
+
+var expected_seq = 0;
+var accepted = 0;
+var discarded = 0;
+
+func on_boot() {
+    if (node_id() == rime_source && sends_left > 0) {
+        timer_set(0, send_period);
+    }
+}
+
+func on_timer(tid) {
+    var payload[1];
+    payload[0] = 0;
+    collect_send(payload, 1);
+    sends_left -= 1;
+    if (sends_left > 0) { timer_set(0, send_period); }
+}
+
+func on_recv(src, len) {
+    if (rime_kind() != RIME_KIND_COLLECT) { return; }
+    if (!rime_for_me()) { return; }
+    if (node_id() != rime_sink) {
+        collect_forward();
+        return;
+    }
+    // BUG: after a loss the gap never closes, so the filter discards
+    // everything that follows.  A correct filter would use `seq >= expected`.
+    if (rime_seq() == expected_seq) {
+        accepted += 1;
+        expected_seq += 1;
+    } else {
+        discarded += 1;
+        // The sink silently throws fresh data away; flag the corner case
+        // so symbolic execution produces a replayable test case for it.
+        assert(discarded < 2, 77);
+    }
+}
+"""
+
+
+def buggy_dedup_program() -> str:
+    return rime_program(BUGGY_DEDUP_APP)

@@ -1,0 +1,79 @@
+"""Shared helpers for core tests: tiny hand-driven mapper harnesses.
+
+These bypass the engine so tests can drive the mapping algorithms through
+the exact situations of the paper's figures: make states, branch them,
+transmit packets, and inspect the resulting structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mapping import StateMapper
+from repro.vm.state import ExecutionState
+
+_pids = itertools.count(1000)
+
+
+class MapperHarness:
+    """Drives a StateMapper directly, playing the engine's role."""
+
+    def __init__(self, mapper: StateMapper, node_count: int) -> None:
+        self.mapper = mapper
+        self.spawned: List[ExecutionState] = []
+        self.states: List[ExecutionState] = []
+        mapper.bind(self._spawn)
+        initial = [ExecutionState(node, memory_size=4) for node in range(node_count)]
+        self.states.extend(initial)
+        self.initial = initial
+        mapper.register_initial(initial)
+
+    def _spawn(self, state: ExecutionState) -> None:
+        self.spawned.append(state)
+        self.states.append(state)
+
+    # -- engine-like operations -------------------------------------------------
+
+    def branch(self, state: ExecutionState, ways: int = 2) -> List[ExecutionState]:
+        """Simulate a local symbolic branch: fork ``ways - 1`` siblings."""
+        children = []
+        for index in range(ways - 1):
+            child = state.fork()
+            # Distinguish configurations like a real branch would.
+            child.memory[0] = index + 1
+            children.append(child)
+            self.states.append(child)
+        self.mapper.on_local_fork(state, children)
+        return children
+
+    def transmit(
+        self, sender: ExecutionState, dest_node: int
+    ) -> List[ExecutionState]:
+        """Map + deliver one packet; returns the receivers."""
+        pid = next(_pids)
+        receivers = self.mapper.map_transmission(sender, dest_node)
+        sender.record_sent(pid, dest_node)
+        for receiver in receivers:
+            receiver.record_received(pid, sender.node)
+            receiver.memory[1] += 1  # "the packet changed the receiver"
+        return receivers
+
+    # -- inspection -----------------------------------------------------------------
+
+    def states_of(self, node: int) -> List[ExecutionState]:
+        return [s for s in self.states if s.node == node]
+
+    def check(self) -> None:
+        self.mapper.check_invariants()
+
+    def total_states(self) -> int:
+        return len(self.states)
+
+    def duplicate_configs(self) -> List[tuple]:
+        """Config keys occurring more than once (duplicates, paper's sense)."""
+        seen: Dict[tuple, int] = {}
+        for state in self.states:
+            key = state.config_key()
+            seen[key] = seen.get(key, 0) + 1
+        return [key for key, count in seen.items() if count > 1]

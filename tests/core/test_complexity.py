@@ -1,0 +1,110 @@
+"""Section III-E complexity bounds: formula identities + empirical check.
+
+The empirical part runs the branch-every-instruction adversary program
+through the real engine under COB and checks the final dscenario count
+against the analytic worst case.
+"""
+
+import pytest
+
+from repro import Scenario, Topology, build_engine
+from repro.core.complexity import (
+    dscenario_tree_size,
+    instructions_to_reach,
+    nstep_instructions,
+    nstep_successors,
+    worst_case_space,
+    worst_case_states_at_level,
+)
+from repro.workloads import branch_storm_program
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_nstep_identities(self, k):
+        assert nstep_instructions(k) == 2**k - 1
+        assert nstep_successors(k) == 2**k
+
+    @pytest.mark.parametrize("k,u", [(1, 1), (2, 2), (3, 2), (2, 4)])
+    def test_tree_size_matches_geometric_sum(self, k, u):
+        expected = sum((2**k) ** i for i in range(u + 1))
+        assert dscenario_tree_size(k, u) == expected
+
+    @pytest.mark.parametrize("k,u", [(1, 1), (2, 1), (2, 3), (3, 2), (4, 2)])
+    def test_instruction_closed_form(self, k, u):
+        assert instructions_to_reach(k, u) == 2 ** (k * u)
+
+    def test_instruction_base_case(self):
+        assert instructions_to_reach(3, 0) == 1
+
+    @pytest.mark.parametrize("k,u", [(2, 2), (3, 1)])
+    def test_space_bound(self, k, u):
+        assert worst_case_space(k, u) == k * 2 ** (k * u)
+        assert worst_case_states_at_level(k, u) == k * (2**k) ** u
+
+    def test_explicit_tree_simulation(self):
+        """Build the dscenario tree breadth-first for tiny (k, u) and count
+        every vertex: must equal D(u)."""
+        for k, u in ((2, 2), (3, 1), (1, 4)):
+            level = 1  # the single 0-complete dscenario
+            total = 1
+            for _ in range(u):
+                level *= nstep_successors(k)
+                total += level
+            assert total == dscenario_tree_size(k, u)
+            assert level == (2**k) ** u
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            nstep_instructions(0)
+        with pytest.raises(ValueError):
+            dscenario_tree_size(2, -1)
+
+
+class TestEmpiricalWorstCase:
+    @pytest.mark.parametrize("k,depth", [(1, 3), (2, 2), (3, 1), (2, 3)])
+    def test_cob_reaches_analytic_dscenario_count(self, k, depth):
+        """k isolated nodes each take `depth` symbolic branches: the final
+        level of the dscenario tree has (2^k)^depth vertices, and COB must
+        materialize exactly that many dscenarios."""
+        scenario = Scenario(
+            name=f"storm-{k}-{depth}",
+            program=branch_storm_program(depth),
+            topology=Topology.full_mesh(k) if k > 1 else Topology.line(1),
+            horizon_ms=10,
+        )
+        engine = build_engine(scenario, "cob", check_invariants=True)
+        report = engine.run()
+        assert report.group_count == (2**k) ** depth
+        assert report.total_states == worst_case_states_at_level(k, depth)
+
+    @pytest.mark.parametrize("k,depth", [(2, 2), (3, 2)])
+    def test_cow_and_sds_stay_at_one_dstate(self, k, depth):
+        """Without communication the whole execution fits in one dstate
+        (Section III-B), at k * 2^depth states instead of k * 2^(k*depth)."""
+        scenario = Scenario(
+            name=f"storm-{k}-{depth}",
+            program=branch_storm_program(depth),
+            topology=Topology.full_mesh(k),
+            horizon_ms=10,
+        )
+        for algo in ("cow", "sds"):
+            engine = build_engine(scenario, algo, check_invariants=True)
+            report = engine.run()
+            assert report.group_count == 1
+            assert report.total_states == k * 2**depth
+
+    def test_upper_bound_holds_for_all_algorithms(self):
+        """O(k * 2^(k*u)) 'is in fact the upper bound for every of the
+        presented algorithms'."""
+        k, depth = 2, 3
+        scenario = Scenario(
+            name="bound",
+            program=branch_storm_program(depth),
+            topology=Topology.full_mesh(k),
+            horizon_ms=10,
+        )
+        bound = worst_case_states_at_level(k, depth)
+        for algo in ("cob", "cow", "sds"):
+            report = build_engine(scenario, algo).run()
+            assert report.total_states <= bound

@@ -1,0 +1,254 @@
+"""SDE engine integration tests (single scenarios, all algorithms)."""
+
+import pytest
+
+from repro import Scenario, Topology, build_engine, run_scenario
+from repro.net import SymbolicPacketDrop
+from repro.vm import Status
+
+ONE_SHOT = """
+var got;
+func on_boot() {
+    if (node_id() == 1) { timer_set(0, 100); }
+}
+func on_timer(tid) {
+    var buf[1];
+    buf[0] = 42;
+    uc_send(0, buf, 1);
+}
+func on_recv(src, len) {
+    got = recv_byte(0);
+}
+"""
+
+
+def one_shot_scenario(drop_nodes=(0,), horizon=1000):
+    return Scenario(
+        name="one-shot",
+        program=ONE_SHOT,
+        topology=Topology.line(2),
+        horizon_ms=horizon,
+        failure_factory=lambda: [SymbolicPacketDrop(drop_nodes)],
+    )
+
+
+class TestBasicRun:
+    @pytest.mark.parametrize("algo", ["cob", "cow", "sds"])
+    def test_completes(self, algo):
+        report = run_scenario(one_shot_scenario(), algo, check_invariants=True)
+        assert not report.aborted
+        assert report.error_states == []
+        assert report.virtual_ms >= 101
+
+    def test_cob_forks_dscenario_on_drop(self):
+        report = run_scenario(one_shot_scenario(), "cob")
+        # initial 2 + drop twin + dscenario copy of node 1.
+        assert report.total_states == 4
+        assert report.group_count == 2
+
+    @pytest.mark.parametrize("algo", ["cow", "sds"])
+    def test_compact_algorithms_avoid_copy(self, algo):
+        report = run_scenario(one_shot_scenario(), algo)
+        assert report.total_states == 3
+        assert report.group_count == 1
+
+    def test_no_failures_no_forks(self):
+        scenario = one_shot_scenario(drop_nodes=())
+        report = run_scenario(scenario, "cob")
+        assert report.total_states == 2
+        assert report.group_count == 1
+
+    def test_delivery_updates_receiver_memory(self):
+        engine = build_engine(one_shot_scenario(drop_nodes=()), "sds")
+        engine.run()
+        program = engine.program
+        node0_states = engine.states_of_node(0)
+        assert len(node0_states) == 1
+        assert node0_states[0].memory[program.global_address("got")] == 42
+
+    def test_drop_variant_never_runs_handler(self):
+        engine = build_engine(one_shot_scenario(), "sds")
+        engine.run()
+        program = engine.program
+        got = [
+            s.memory[program.global_address("got")]
+            for s in engine.states_of_node(0)
+        ]
+        assert sorted(got) == [0, 42]
+
+    def test_histories_recorded(self):
+        engine = build_engine(one_shot_scenario(drop_nodes=()), "sds")
+        engine.run()
+        (sender,) = engine.states_of_node(1)
+        (receiver,) = engine.states_of_node(0)
+        assert sender.history[0][0] == "tx"
+        assert receiver.history[0][0] == "rx"
+        assert sender.history[0][1] == receiver.history[0][1]  # same pid
+
+
+class TestHorizonAndCaps:
+    def test_horizon_stops_periodic_timer(self):
+        src = """
+        var ticks;
+        func on_boot() { timer_set(0, 100); }
+        func on_timer(tid) { ticks += 1; timer_set(0, 100); }
+        """
+        scenario = Scenario(
+            name="ticker",
+            program=src,
+            topology=Topology.line(1),
+            horizon_ms=1000,
+        )
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        (state,) = engine.states_of_node(0)
+        ticks = state.memory[engine.program.global_address("ticks")]
+        assert ticks == 10  # t=100..1000
+
+    def test_state_cap_aborts(self):
+        scenario = one_shot_scenario()
+        scenario.max_states = 2
+        scenario.sample_every_events = 1
+        report = run_scenario(scenario, "cob")
+        assert report.aborted
+        assert "state cap" in report.abort_reason
+
+    def test_memory_cap_aborts(self):
+        scenario = one_shot_scenario()
+        scenario.max_accounted_bytes = 1  # absurdly low
+        scenario.sample_every_events = 1
+        report = run_scenario(scenario, "sds")
+        assert report.aborted
+        assert "memory cap" in report.abort_reason
+
+
+class TestErrorStates:
+    def test_guest_error_recorded_with_testcase(self):
+        src = """
+        func on_boot() {
+            if (node_id() == 1) { timer_set(0, 10); }
+        }
+        func on_timer(tid) {
+            var buf[1];
+            buf[0] = symbolic("data");
+            uc_send(0, buf, 1);
+        }
+        func on_recv(src, len) {
+            assert(recv_byte(0) != 13, 99);
+        }
+        """
+        scenario = Scenario(
+            name="assert-on-recv",
+            program=src,
+            topology=Topology.line(2),
+            horizon_ms=100,
+        )
+        engine = build_engine(scenario, "sds", check_invariants=True)
+        report = engine.run()
+        assert len(report.error_states) == 1
+        error_state = report.error_states[0]
+        assert error_state.error.code == 99
+        # The defect is on node 0 but caused by node 1's symbolic input:
+        # solving the error path pins node 1's payload to 13.
+        model = engine.solver.get_model(error_state.constraints)
+        assert model["n1.data"] == 13
+
+    def test_dead_states_do_not_execute(self):
+        src = """
+        var after;
+        func on_boot() { fail(1); after = 1; timer_set(0, 10); }
+        """
+        scenario = Scenario(
+            name="dead",
+            program=src,
+            topology=Topology.line(1),
+            horizon_ms=100,
+        )
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        (state,) = engine.states_of_node(0)
+        assert state.status == Status.ERROR
+        assert state.memory[engine.program.global_address("after")] == 0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_structure(self):
+        from repro.core import dscenario_fingerprints
+
+        results = []
+        for _ in range(2):
+            engine = build_engine(one_shot_scenario(), "sds")
+            engine.run()
+            results.append(
+                dscenario_fingerprints(engine.mapper, engine.packets)
+            )
+        assert results[0] == results[1]
+
+
+class TestRebootModel:
+    def test_reboot_variant_loses_memory(self):
+        from repro.net import SymbolicNodeReboot
+
+        src = """
+        var got; var boots;
+        func on_boot() {
+            boots += 1;
+            if (node_id() == 1) { timer_set(0, 100); }
+        }
+        func on_timer(tid) {
+            var buf[1]; buf[0] = 5;
+            uc_send(0, buf, 1);
+        }
+        func on_recv(src, len) { got = recv_byte(0); }
+        """
+        scenario = Scenario(
+            name="reboot",
+            program=src,
+            topology=Topology.line(2),
+            horizon_ms=1000,
+            failure_factory=lambda: [SymbolicNodeReboot([0])],
+        )
+        engine = build_engine(scenario, "sds", check_invariants=True)
+        engine.run()
+        program = engine.program
+        got_addr = program.global_address("got")
+        boots_addr = program.global_address("boots")
+        variants = {
+            (s.memory[got_addr], s.memory[boots_addr])
+            for s in engine.states_of_node(0)
+        }
+        # One variant processed the packet (1 boot), one rebooted instead
+        # (2 boots, nothing received).  `boots` survives because reboot
+        # re-runs on_boot after wiping memory -> counter restarts at 1+1?
+        # No: memory wipe resets boots to 0, then on_boot makes it 1.
+        assert (5, 1) in variants
+        assert (0, 1) in variants
+
+    def test_duplicate_model_processes_twice(self):
+        from repro.net import SymbolicDuplication
+
+        src = """
+        var count;
+        func on_boot() {
+            if (node_id() == 1) { timer_set(0, 100); }
+        }
+        func on_timer(tid) {
+            var buf[1]; buf[0] = 1;
+            uc_send(0, buf, 1);
+        }
+        func on_recv(src, len) { count += recv_byte(0); }
+        """
+        scenario = Scenario(
+            name="dup",
+            program=src,
+            topology=Topology.line(2),
+            horizon_ms=1000,
+            failure_factory=lambda: [SymbolicDuplication([0])],
+        )
+        engine = build_engine(scenario, "sds", check_invariants=True)
+        engine.run()
+        counts = sorted(
+            s.memory[engine.program.global_address("count")]
+            for s in engine.states_of_node(0)
+        )
+        assert counts == [1, 2]

@@ -1,0 +1,102 @@
+"""Unit tests for logical canonicalization in the equivalence oracle."""
+
+from repro.core.explode import (
+    dscenario_fingerprints,
+    logical_packet_key,
+    logical_state_config,
+)
+from repro.net.packet import Packet
+from repro.vm.state import Event, ExecutionState
+
+
+class TestLogicalPacketKey:
+    def test_same_logical_content_same_key(self):
+        a = Packet(1, 2, (5, 6), 100)
+        b = Packet(1, 2, (5, 6), 100)
+        assert a.pid != b.pid
+        assert logical_packet_key(a) == logical_packet_key(b)
+
+    def test_differs_by_payload(self):
+        a = Packet(1, 2, (5,), 100)
+        b = Packet(1, 2, (6,), 100)
+        assert logical_packet_key(a) != logical_packet_key(b)
+
+    def test_differs_by_time(self):
+        a = Packet(1, 2, (5,), 100)
+        b = Packet(1, 2, (5,), 101)
+        assert logical_packet_key(a) != logical_packet_key(b)
+
+    def test_broadcast_flag_included(self):
+        unicast = Packet(1, 2, (5,), 100, broadcast_id=0)
+        leg = Packet(1, 2, (5,), 100, broadcast_id=3)
+        assert logical_packet_key(unicast) != logical_packet_key(leg)
+
+    def test_leg_number_not_included(self):
+        leg3 = Packet(1, 2, (5,), 100, broadcast_id=3)
+        leg9 = Packet(1, 2, (5,), 100, broadcast_id=9)
+        assert logical_packet_key(leg3) == logical_packet_key(leg9)
+
+
+class TestLogicalStateConfig:
+    def _state_with_history(self, packets):
+        state = ExecutionState(0, memory_size=2)
+        registry = {}
+        for packet in packets:
+            registry[packet.pid] = packet
+            state.record_received(packet.pid, packet.src)
+        return state, registry
+
+    def test_pid_renaming_invariance(self):
+        p1 = Packet(1, 0, (7,), 50)
+        p2 = Packet(1, 0, (7,), 50)
+        a, reg_a = self._state_with_history([p1])
+        b, reg_b = self._state_with_history([p2])
+        assert logical_state_config(a, reg_a) == logical_state_config(b, reg_b)
+
+    def test_payload_difference_detected(self):
+        a, reg_a = self._state_with_history([Packet(1, 0, (7,), 50)])
+        b, reg_b = self._state_with_history([Packet(1, 0, (8,), 50)])
+        assert logical_state_config(a, reg_a) != logical_state_config(b, reg_b)
+
+    def test_pending_recv_event_canonicalized(self):
+        p1 = Packet(1, 0, (7,), 50)
+        p2 = Packet(1, 0, (7,), 50)
+        a = ExecutionState(0, 2)
+        b = ExecutionState(0, 2)
+        a.push_event(51, Event.RECV, p1)
+        b.push_event(51, Event.RECV, p2)
+        assert logical_state_config(a, {p1.pid: p1}) == logical_state_config(
+            b, {p2.pid: p2}
+        )
+
+    def test_current_packet_canonicalized(self):
+        p1 = Packet(1, 0, (7,), 50)
+        p2 = Packet(1, 0, (7,), 50)
+        a = ExecutionState(0, 2)
+        b = ExecutionState(0, 2)
+        a.current_packet = p1
+        b.current_packet = p2
+        assert logical_state_config(a, {}) == logical_state_config(b, {})
+
+    def test_unknown_pid_passes_through(self):
+        state = ExecutionState(0, 2)
+        state.record_received(999, src=1)
+        config = logical_state_config(state, {})
+        assert ("rx", 999, 1) in config[-1]
+
+
+class TestFingerprintMultisets:
+    def test_duplicate_dscenarios_counted(self):
+        from repro.core import COBMapper
+
+        from .helpers import MapperHarness
+
+        harness = MapperHarness(COBMapper(), node_count=2)
+        # Fork node 0 without distinguishing configs: two dscenarios with
+        # identical fingerprints -> multiset counts 2.
+        child = harness.initial[0].fork()
+        harness.states.append(child)
+        harness.mapper.on_local_fork(harness.initial[0], [child])
+        fingerprints = dscenario_fingerprints(harness.mapper, {})
+        assert sum(fingerprints.values()) == 2
+        assert max(fingerprints.values()) == 2  # true duplicates collapse

@@ -1,0 +1,189 @@
+"""Dscenario explosion and test-case generation."""
+
+import pytest
+
+from repro import Scenario, Topology, build_engine
+from repro.core import (
+    COWMapper,
+    SDSMapper,
+    explosion_count,
+    generate_incrementally,
+    iter_dscenarios,
+)
+# Aliased imports: bare names starting with "test" would be collected by
+# pytest as test functions.
+from repro.core import testcase_for_dscenario as make_dscenario_testcase
+from repro.core import testcase_for_state as make_state_testcase
+from repro.core import testcases_for_errors as make_error_testcases
+from repro.net import SymbolicPacketDrop
+from repro.solver import Solver
+
+from .helpers import MapperHarness
+
+
+class TestIterDscenarios:
+    def test_single_dstate_product(self):
+        harness = MapperHarness(COWMapper(), node_count=3)
+        harness.branch(harness.initial[0])
+        harness.branch(harness.initial[2], ways=3)
+        scenarios = list(iter_dscenarios(harness.mapper))
+        assert len(scenarios) == 2 * 1 * 3
+        assert explosion_count(harness.mapper) == 6
+        for scenario in scenarios:
+            assert sorted(scenario) == [0, 1, 2]
+            for node, state in scenario.items():
+                assert state.node == node
+
+    def test_enumeration_is_lazy(self):
+        harness = MapperHarness(COWMapper(), node_count=2)
+        harness.branch(harness.initial[0], ways=4)
+        iterator = iter_dscenarios(harness.mapper)
+        first = next(iterator)
+        assert first[0] is harness.initial[0]
+
+    def test_sds_counts_virtual_products(self):
+        harness = MapperHarness(SDSMapper(), node_count=3)
+        node0 = harness.initial[0]
+        harness.branch(node0)
+        harness.transmit(node0, 1)
+        # Two dstates, each 1x1x1 as virtuals -> 2 dscenarios.
+        assert explosion_count(harness.mapper) == 2
+
+
+class TestTestcaseGeneration:
+    def scenario(self):
+        source = """
+        var got;
+        func on_boot() {
+            if (node_id() == 1) { timer_set(0, 10); }
+        }
+        func on_timer(tid) {
+            var buf[1];
+            buf[0] = symbolic("reading", 8);
+            uc_send(0, buf, 1);
+        }
+        func on_recv(src, len) {
+            got = recv_byte(0);
+            if (got == 200) { fail(5); }
+        }
+        """
+        return Scenario(
+            name="tc",
+            program=source,
+            topology=Topology.line(2),
+            horizon_ms=100,
+            failure_factory=lambda: [SymbolicPacketDrop([0])],
+        )
+
+    def test_testcase_for_error_state(self):
+        engine = build_engine(self.scenario(), "sds")
+        report = engine.run()
+        assert len(report.error_states) == 1
+        testcase = make_state_testcase(report.error_states[0], engine.solver)
+        assert testcase is not None
+        assert testcase.error.code == 5
+        assert testcase.assignments == {"n0.drop": 0}  # received, not dropped
+        # The *reading* variable belongs to node 1; solve the dscenario to
+        # pin it (joint constraints name it).
+        model = engine.solver.get_model(report.error_states[0].constraints)
+        assert model["n1.reading"] == 200
+
+    def test_distributed_testcase_joint_solving(self):
+        engine = build_engine(self.scenario(), "sds")
+        report = engine.run()
+        error_state = report.error_states[0]
+        # Find a dscenario containing the error state.
+        containing = [
+            members
+            for members in iter_dscenarios(engine.mapper)
+            if any(m is error_state for m in members.values())
+        ]
+        assert containing
+        testcase = make_dscenario_testcase(containing[0], engine.solver)
+        assert testcase.feasible
+        assert testcase.assignments["n1.reading"] == 200
+        assert testcase.errors()[0].code == 5
+
+    def test_incremental_generation_covers_all(self):
+        engine = build_engine(self.scenario(), "sds")
+        engine.run()
+        testcases = list(
+            generate_incrementally(engine.mapper, engine.solver)
+        )
+        assert len(testcases) == explosion_count(engine.mapper)
+        assert all(tc.feasible for tc in testcases)
+
+    def test_incremental_generation_limit(self):
+        engine = build_engine(self.scenario(), "sds")
+        engine.run()
+        limited = list(
+            generate_incrementally(engine.mapper, engine.solver, limit=2)
+        )
+        assert len(limited) == 2
+
+    def test_testcases_for_errors(self):
+        engine = build_engine(self.scenario(), "sds")
+        report = engine.run()
+        cases = make_error_testcases(report.error_states, engine.solver)
+        assert len(cases) == 1
+        assert "node 0" in cases[0].describe()
+
+    def test_inputs_for_node(self):
+        engine = build_engine(self.scenario(), "sds")
+        engine.run()
+        testcase = next(
+            generate_incrementally(engine.mapper, engine.solver)
+        )
+        node1_inputs = testcase.inputs_for_node(1)
+        assert all(name.startswith("n1.") for name in node1_inputs)
+
+    def test_infeasible_state_yields_none(self):
+        from repro.expr import bv, eq, var
+        from repro.vm.state import ExecutionState
+
+        state = ExecutionState(0, 2)
+        state.add_constraint(eq(var("x", 8), bv(1, 8)))
+        state.add_constraint(eq(var("x", 8), bv(2, 8)))
+        assert make_state_testcase(state, Solver()) is None
+
+
+class TestReplayOfDistributedTestcase:
+    def test_error_testcase_replays_concretely(self):
+        """The generated inputs, wired back in as concrete values, must
+        reproduce the failure deterministically — the promise of SDE."""
+        template = """
+        var got;
+        func on_boot() {{
+            if (node_id() == 1) {{ timer_set(0, 10); }}
+        }}
+        func on_timer(tid) {{
+            var buf[1];
+            buf[0] = {reading};
+            uc_send(0, buf, 1);
+        }}
+        func on_recv(src, len) {{
+            got = recv_byte(0);
+            if (got == 200) {{ fail(5); }}
+        }}
+        """
+        symbolic_scenario = Scenario(
+            name="sym",
+            program=template.format(reading='symbolic("reading", 8)'),
+            topology=Topology.line(2),
+            horizon_ms=100,
+        )
+        engine = build_engine(symbolic_scenario, "sds")
+        report = engine.run()
+        model = engine.solver.get_model(report.error_states[0].constraints)
+        reading = model["n1.reading"]
+
+        replay_scenario = Scenario(
+            name="replay",
+            program=template.format(reading=reading),
+            topology=Topology.line(2),
+            horizon_ms=100,
+        )
+        replay_engine = build_engine(replay_scenario, "sds")
+        replay_report = replay_engine.run()
+        assert len(replay_report.error_states) == 1
+        assert replay_report.error_states[0].error.code == 5

@@ -1,0 +1,94 @@
+"""Conflict-detection tests (paper Section II-B definitions)."""
+
+from repro.core.history import (
+    conflict_free,
+    find_conflicts,
+    in_direct_conflict,
+    received_from,
+    sent_to,
+)
+from repro.vm.state import ExecutionState
+
+
+def state(node):
+    return ExecutionState(node, memory_size=2)
+
+
+class TestHistoryAccessors:
+    def test_sent_to(self):
+        s = state(0)
+        s.record_sent(1, dest=2)
+        s.record_sent(2, dest=3)
+        assert sent_to(s, 2) == {1}
+        assert sent_to(s, 3) == {2}
+        assert sent_to(s, 9) == set()
+
+    def test_received_from(self):
+        s = state(0)
+        s.record_received(7, src=1)
+        assert received_from(s, 1) == {7}
+        assert received_from(s, 2) == set()
+
+
+class TestDirectConflict:
+    def test_fresh_states_agree(self):
+        assert not in_direct_conflict(state(0), state(1))
+
+    def test_sent_but_not_received(self):
+        """s sent a packet to node(t) that was not received by t."""
+        s, t = state(0), state(1)
+        s.record_sent(1, dest=1)
+        assert in_direct_conflict(s, t)
+
+    def test_received_but_not_sent(self):
+        """t received a packet from node(s) which was not sent by s."""
+        s, t = state(0), state(1)
+        t.record_received(1, src=0)
+        assert in_direct_conflict(s, t)
+
+    def test_matched_exchange_is_consistent(self):
+        s, t = state(0), state(1)
+        s.record_sent(1, dest=1)
+        t.record_received(1, src=0)
+        assert not in_direct_conflict(s, t)
+
+    def test_symmetry(self):
+        s, t = state(0), state(1)
+        s.record_sent(1, dest=1)
+        assert in_direct_conflict(s, t) == in_direct_conflict(t, s)
+
+    def test_third_party_traffic_is_ignored(self):
+        """Packets to/from other nodes never create a direct conflict
+        (that is exactly the 'logical but not direct' case of the paper's
+        line example)."""
+        s1_prime, s3 = state(1), state(3)
+        # s3 received a packet that originated at node 1 -- but via node 2,
+        # so it is recorded as coming from node 2.
+        s3.record_received(5, src=2)
+        assert not in_direct_conflict(s1_prime, s3)
+
+    def test_same_node_states_conflict_iff_histories_differ(self):
+        a, b = state(0), state(0)
+        assert not in_direct_conflict(a, b)
+        a.record_sent(1, dest=1)
+        assert in_direct_conflict(a, b)
+        b.record_sent(1, dest=1)
+        assert not in_direct_conflict(a, b)
+
+
+class TestGroupChecks:
+    def test_conflict_free_set(self):
+        s, t, u = state(0), state(1), state(2)
+        s.record_sent(1, dest=1)
+        t.record_received(1, src=0)
+        assert conflict_free([s, t, u])
+
+    def test_find_conflicts_reports_pairs(self):
+        s, t, u = state(0), state(1), state(2)
+        s.record_sent(1, dest=1)  # t never received it
+        u.record_received(9, src=0)  # s never sent it
+        conflicts = find_conflicts([s, t, u])
+        pairs = {(a.sid, b.sid) for a, b in conflicts}
+        assert (s.sid, t.sid) in pairs
+        assert (s.sid, u.sid) in pairs
+        assert len(conflicts) == 2

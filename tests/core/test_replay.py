@@ -1,0 +1,117 @@
+"""Deterministic replay of distributed test cases."""
+
+import pytest
+
+from repro import Scenario, Topology, build_engine
+from repro.core import (
+    iter_dscenarios,
+    replay_assignments,
+    replay_testcase,
+)
+from repro.core import testcase_for_dscenario as make_dscenario_testcase
+from repro.net.failures import standard_failure_suite
+from repro.vm import Status
+from repro.workloads import first_collect_packet, line_scenario
+from repro.workloads.programs import buggy_dedup_program
+
+
+def buggy_scenario(k=4, sends=3):
+    topology = Topology.line(k)
+    sink, source = k - 1, 0
+    return Scenario(
+        name="buggy-replay",
+        program=buggy_dedup_program(),
+        topology=topology,
+        horizon_ms=(sends + 1) * 1000,
+        failure_factory=lambda: standard_failure_suite(
+            [n for n in topology.nodes() if n != source],
+            packet_filter=first_collect_packet,
+        ),
+        preset_globals={
+            "rime_next_hop": topology.next_hop_table(sink),
+            "rime_sink": sink,
+            "rime_source": source,
+            "send_period": 1000,
+            "sends_left": {source: sends},
+        },
+    )
+
+
+def error_testcases(engine, report):
+    cases = []
+    for error_state in report.error_states:
+        members = next(
+            m
+            for m in iter_dscenarios(engine.mapper)
+            if any(s is error_state for s in m.values())
+        )
+        cases.append(make_dscenario_testcase(members, engine.solver))
+    return cases
+
+
+class TestReplay:
+    def test_replayed_run_never_forks(self):
+        engine = build_engine(buggy_scenario(), "sds")
+        report = engine.run()
+        testcase = error_testcases(engine, report)[0]
+        replay = replay_testcase(buggy_scenario(), testcase)
+        # One state per node: no symbolic forking at all.
+        assert replay.total_states == 4
+        assert replay.group_count == 1
+
+    def test_replay_reproduces_the_defect(self):
+        engine = build_engine(buggy_scenario(), "sds")
+        report = engine.run()
+        assert report.error_states
+        for testcase in error_testcases(engine, report):
+            replay = replay_testcase(buggy_scenario(), testcase)
+            assert len(replay.error_states) == 1
+            replayed = replay.error_states[0]
+            original = next(
+                s
+                for s in testcase.members.values()
+                if s.status == Status.ERROR
+            )
+            assert replayed.error.kind == original.error.kind
+            assert replayed.error.code == original.error.code
+            assert replayed.node == original.node
+            assert replayed.clock == original.clock
+
+    def test_non_error_testcase_replays_clean(self):
+        engine = build_engine(buggy_scenario(), "sds")
+        engine.run()
+        clean = next(
+            make_dscenario_testcase(members, engine.solver)
+            for members in iter_dscenarios(engine.mapper)
+            if not any(s.status == Status.ERROR for s in members.values())
+        )
+        replay = replay_testcase(buggy_scenario(), clean)
+        assert replay.error_states == []
+
+    def test_replay_assignments_direct(self):
+        # Force "no drops anywhere": everything delivered, no defect.
+        replay = replay_assignments(buggy_scenario(), {})
+        assert replay.error_states == []
+        assert replay.total_states == 4
+
+    def test_forcing_a_specific_drop(self):
+        # Drop exactly at node 2: the gap bug must fire at the sink.
+        replay = replay_assignments(buggy_scenario(), {"n2.drop": 1})
+        assert len(replay.error_states) == 1
+        assert replay.error_states[0].node == 3
+
+    def test_infeasible_testcase_rejected(self):
+        from repro.core.testcase import DistributedTestCase
+
+        bogus = DistributedTestCase({}, {}, feasible=False)
+        with pytest.raises(ValueError):
+            replay_testcase(buggy_scenario(), bogus)
+
+    def test_replay_of_plain_line_scenario(self):
+        # Forcing the relay's drop loses exactly the first packet.
+        dropped = replay_assignments(
+            line_scenario(3, sim_seconds=3), {"n1.drop": 1}
+        )
+        clean = replay_assignments(line_scenario(3, sim_seconds=3), {})
+        assert dropped.total_states == 3 and clean.total_states == 3
+        assert dropped.instructions < clean.instructions  # one hop less work

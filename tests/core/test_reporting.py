@@ -1,0 +1,79 @@
+"""JSON report export tests."""
+
+import json
+
+import pytest
+
+from repro import build_engine
+from repro.core import load_report_dict, report_to_dict, save_report
+from repro.core.reporting import SCHEMA_VERSION
+from repro.workloads import line_scenario
+
+
+@pytest.fixture(scope="module")
+def report():
+    engine = build_engine(line_scenario(3, sim_seconds=3), "sds")
+    return engine.run()
+
+
+class TestReportToDict:
+    def test_core_fields(self, report):
+        data = report_to_dict(report)
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["algorithm"] == "sds"
+        assert data["total_states"] == report.total_states
+        assert data["group_count"] == report.group_count
+        assert not data["aborted"]
+
+    def test_series_included_by_default(self, report):
+        data = report_to_dict(report)
+        assert data["series"]
+        first = data["series"][0]
+        assert set(first) == {
+            "wall_seconds",
+            "virtual_ms",
+            "events",
+            "states",
+            "accounted_bytes",
+            "rss_bytes",
+            "groups",
+        }
+
+    def test_series_can_be_omitted(self, report):
+        data = report_to_dict(report, include_series=False)
+        assert "series" not in data
+
+    def test_json_serializable(self, report):
+        json.dumps(report_to_dict(report))
+
+    def test_error_entries(self):
+        from repro import Scenario, Topology
+
+        scenario = Scenario(
+            name="boom",
+            program="func on_boot() { fail(3); }",
+            topology=Topology.line(1),
+            horizon_ms=10,
+        )
+        engine = build_engine(scenario, "sds")
+        data = report_to_dict(engine.run())
+        assert len(data["errors"]) == 1
+        assert data["errors"][0]["code"] == 3
+        assert data["errors"][0]["node"] == 0
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        loaded = load_report_dict(path)
+        assert loaded["total_states"] == report.total_states
+
+    def test_schema_mismatch_rejected(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        data = json.loads(path.read_text())
+        data["schema"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            load_report_dict(path)

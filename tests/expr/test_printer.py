@@ -1,0 +1,101 @@
+"""Printer tests: infix pretty-printing and SMT-LIB export."""
+
+from repro.expr import (
+    and_,
+    bv,
+    bvand,
+    concat,
+    eq,
+    extract,
+    ite,
+    ne,
+    not_,
+    or_,
+    pretty,
+    sext,
+    slt,
+    smtlib_script,
+    to_smtlib,
+    ult,
+    var,
+    zext,
+)
+
+X = var("x")
+Y = var("y")
+DROP = var("n1.drop", 1)
+
+
+class TestPretty:
+    def test_const_and_var(self):
+        assert pretty(bv(42)) == "42"
+        assert pretty(X) == "x"
+
+    def test_arith(self):
+        from repro.expr import add, mul
+
+        assert pretty(add(X, bv(1))) == "(x + 1)"
+        assert pretty(mul(X, Y)) == "(x * y)"
+
+    def test_signed_vs_unsigned_cmp(self):
+        assert pretty(slt(X, bv(5))) == "(x <s 5)"
+        assert pretty(ult(X, bv(5))) == "(x <u 5)"
+
+    def test_boolean_connectives(self):
+        p, q = eq(X, bv(0)), ne(Y, bv(1))
+        rendered = pretty(and_(p, q))
+        assert "&&" in rendered
+        rendered = pretty(or_(p, q))
+        assert "||" in rendered
+
+    def test_structure(self):
+        assert pretty(extract(X, 8, 8)) == "x[15:8]"
+        assert pretty(zext(var("b", 8), 32)) == "zext32(b)"
+        assert pretty(sext(var("b", 8), 32)) == "sext32(b)"
+        assert "?" in pretty(ite(eq(X, bv(0)), bv(1), bv(2)))
+
+    def test_namespaced_variable(self):
+        assert pretty(eq(DROP, bv(1, 1))) == "(n1.drop == 1)"
+
+
+class TestSmtlib:
+    def test_const(self):
+        assert to_smtlib(bv(5, 8)) == "(_ bv5 8)"
+
+    def test_var_quoting(self):
+        assert to_smtlib(DROP) == "|n1.drop|"
+        assert to_smtlib(X) == "x"
+
+    def test_operators(self):
+        from repro.expr import add, lshr
+
+        assert to_smtlib(add(X, Y)) == "(bvadd x y)"
+        assert to_smtlib(lshr(X, Y)) == "(bvlshr x y)"
+        assert to_smtlib(ult(X, Y)) == "(bvult x y)"
+        assert to_smtlib(eq(X, Y)) == "(= x y)"
+
+    def test_ne_via_not(self):
+        assert to_smtlib(ne(X, Y)) == "(not (= x y))"
+
+    def test_extract_extend_concat(self):
+        b = var("b", 8)
+        assert to_smtlib(extract(X, 8, 8)) == "((_ extract 15 8) x)"
+        assert to_smtlib(zext(b, 32)) == "((_ zero_extend 24) b)"
+        assert to_smtlib(sext(b, 32)) == "((_ sign_extend 24) b)"
+        assert to_smtlib(concat(b, var("c", 8))) == "(concat b c)"
+
+    def test_script_structure(self):
+        script = smtlib_script([eq(X, bv(5)), ult(Y, X)])
+        assert "(set-logic QF_BV)" in script
+        assert "(declare-fun x () (_ BitVec 32))" in script
+        assert "(declare-fun y () (_ BitVec 32))" in script
+        assert script.count("(assert") == 2
+        assert "(check-sat)" in script
+
+    def test_script_declares_each_var_once(self):
+        script = smtlib_script([eq(X, bv(1)), ne(X, bv(2))])
+        assert script.count("declare-fun x") == 1
+
+    def test_bool_connectives(self):
+        p = eq(X, bv(0))
+        assert to_smtlib(not_(or_(p, ult(X, Y)))).startswith("(not (or")

@@ -1,0 +1,154 @@
+"""Compiler tests: layout, diagnostics, and bytecode shape."""
+
+import pytest
+
+from repro.lang import Op, SemanticError, compile_source, disassemble
+
+
+class TestLayout:
+    def test_globals_get_addresses(self):
+        program = compile_source("var a; var b[4]; var c;")
+        assert program.globals_layout["a"] == (0, 1)
+        assert program.globals_layout["b"] == (1, 4)
+        assert program.globals_layout["c"] == (5, 1)
+        assert program.memory_size == 6
+
+    def test_function_frames_after_globals(self):
+        program = compile_source(
+            "var g; func f(a, b) { var x; var arr[3]; }"
+        )
+        func = program.function("f")
+        assert func.param_base == 1
+        assert func.frame_size == 2 + 1 + 3
+        assert program.memory_size == 1 + 6
+
+    def test_global_initializers_folded(self):
+        program = compile_source(
+            "const K = 4; var a = K * 2 + 1; var b = -1;"
+        )
+        inits = dict(program.initializers)
+        assert inits[program.global_address("a")] == 9
+        assert inits[program.global_address("b")] == 0xFFFFFFFF
+
+    def test_const_referencing_const(self):
+        program = compile_source("const A = 2; const B = A << 3; var x = B;")
+        assert dict(program.initializers)[0] == 16
+
+    def test_nonconstant_global_init_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("var a = b;")
+
+    def test_strings_interned(self):
+        program = compile_source(
+            'func f() { symbolic("x"); symbolic("x"); symbolic("y"); }'
+        )
+        assert program.strings == ["x", "y"]
+
+
+class TestDiagnostics:
+    def test_undefined_name(self):
+        with pytest.raises(SemanticError, match="undefined name"):
+            compile_source("func f() { return missing; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            compile_source("func f() { g(); }")
+
+    def test_wrong_user_arity(self):
+        with pytest.raises(SemanticError, match="expects 2 args"):
+            compile_source("func g(a, b) { } func f() { g(1); }")
+
+    def test_wrong_builtin_arity(self):
+        with pytest.raises(SemanticError, match="builtin"):
+            compile_source("func f() { node_id(1); }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            compile_source("var a; var a;")
+
+    def test_duplicate_local_in_scope(self):
+        with pytest.raises(SemanticError, match="duplicate local"):
+            compile_source("func f() { var x; var x; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        compile_source("func f() { var x; if (1) { var x; } }")
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(SemanticError, match="shadows a builtin"):
+            compile_source("func assert() { }")
+
+    def test_assign_to_array_name(self):
+        with pytest.raises(SemanticError, match="cannot assign"):
+            compile_source("var a[4]; func f() { a = 1; }")
+
+    def test_index_of_scalar(self):
+        with pytest.raises(SemanticError, match="not an array"):
+            compile_source("var a; func f() { return a[0]; }")
+
+    def test_function_used_as_value(self):
+        with pytest.raises(SemanticError, match="used as a value"):
+            compile_source("func g() { } func f() { return g; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break outside"):
+            compile_source("func f() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue outside"):
+            compile_source("func f() { continue; }")
+
+    def test_direct_recursion_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            compile_source("func f() { f(); }")
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            compile_source(
+                "func f() { g(); } func g() { f(); }"
+            )
+
+    def test_array_local_initializer_rejected(self):
+        # The grammar itself forbids `var a[4] = 1;` (array initializers
+        # don't exist in NSL), so this dies in the parser.
+        from repro.lang import CompileError
+
+        with pytest.raises(CompileError):
+            compile_source("func f() { var a[4] = 1; }")
+
+
+class TestCodegenShape:
+    def test_array_decay_pushes_base(self):
+        program = compile_source("var buf[4]; func f() { uc_send(1, buf, 4); }")
+        func = program.function("f")
+        segment = program.code[func.entry : func.entry + func.code_length]
+        pushes = [i.arg for i in segment if i.op == Op.PUSH]
+        assert program.global_address("buf") in pushes
+
+    def test_comparison_swaps_for_gt(self):
+        program = compile_source("func f(a, b) { return a > b; }")
+        ops = [i.op for i in program.code]
+        assert Op.SLT in ops  # a > b compiled as b < a
+
+    def test_short_circuit_and_has_branch(self):
+        program = compile_source("func f(a, b) { return a && b; }")
+        ops = [i.op for i in program.code]
+        assert Op.JZ in ops and Op.BOOL in ops
+
+    def test_compound_index_assign_duplicates_index(self):
+        program = compile_source("var a[4]; func f(i) { a[i] += 2; }")
+        ops = [i.op for i in program.code]
+        assert Op.DUP in ops and Op.LOADI in ops and Op.STOREI in ops
+
+    def test_disassemble_runs(self):
+        program = compile_source(
+            "var g; func f(a) { if (a) { g = 1; } return g; }"
+        )
+        listing = disassemble(program)
+        assert "func f(a)" in listing
+        assert "JZ" in listing
+
+    def test_every_function_ends_with_ret(self):
+        program = compile_source("func f() { } func g(x) { return x; }")
+        for func in program.functions:
+            last = program.code[func.entry + func.code_length - 1]
+            assert last.op == Op.RET

@@ -1,0 +1,100 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]  # drop eof
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_integers(self):
+        assert values("0 42 0xff 0XAB") == [0, 42, 255, 171]
+
+    def test_char_literals(self):
+        assert values("'a' '\\n' '\\0'") == [97, 10, 0]
+
+    def test_string_literal(self):
+        assert values('"drop"') == ["drop"]
+        assert values('"a\\nb"') == ["a\nb"]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("var x if foo_bar2")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword",
+            "ident",
+            "keyword",
+            "ident",
+        ]
+
+    def test_operators_longest_match(self):
+        assert values("<< <= < == = && & >>") == [
+            "<<",
+            "<=",
+            "<",
+            "==",
+            "=",
+            "&&",
+            "&",
+            ">>",
+        ]
+
+    def test_compound_assignment_ops(self):
+        assert values("+= -= <<= >>=") == ["+=", "-=", "<<=", ">>="]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("1 // comment\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* x\ny */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_line_tracking_after_block_comment(self):
+        tokens = tokenize("/* a\nb */ x")
+        assert tokens[0].line == 2
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_empty_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')

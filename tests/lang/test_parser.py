@@ -1,0 +1,174 @@
+"""Parser tests: program structure, precedence, error reporting."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import nodes as N
+
+
+def parse_expr(text):
+    program = parse(f"func t() {{ return {text}; }}")
+    return program.funcs[0].body.statements[0].value
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        program = parse("")
+        assert program.globals == [] and program.funcs == []
+
+    def test_global_scalar(self):
+        program = parse("var x; var y = 5;")
+        assert program.globals[0].name == "x"
+        assert program.globals[0].size is None
+        assert program.globals[1].init.value == 5
+
+    def test_global_array(self):
+        program = parse("var buf[8];")
+        assert program.globals[0].size == 8
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("var buf[0];")
+
+    def test_const(self):
+        program = parse("const LIMIT = 10;")
+        assert program.consts[0].name == "LIMIT"
+
+    def test_func_params(self):
+        program = parse("func f(a, b, c) { }")
+        assert program.funcs[0].params == ["a", "b", "c"]
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("x = 1;")
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        program = parse(
+            """
+            func f(x) {
+                if (x == 0) { return 1; }
+                else if (x == 1) { return 2; }
+                else { return 3; }
+            }
+            """
+        )
+        outer = program.funcs[0].body.statements[0]
+        assert isinstance(outer, N.If)
+        nested = outer.orelse.statements[0]
+        assert isinstance(nested, N.If)
+        assert nested.orelse is not None
+
+    def test_while(self):
+        program = parse("func f() { while (1) { break; } }")
+        loop = program.funcs[0].body.statements[0]
+        assert isinstance(loop, N.While)
+        assert isinstance(loop.body.statements[0], N.Break)
+
+    def test_for_full(self):
+        program = parse("func f() { for (var i = 0; i < 4; i += 1) { } }")
+        loop = program.funcs[0].body.statements[0]
+        assert isinstance(loop.init, N.VarDecl)
+        assert loop.init.init.value == 0
+        assert isinstance(loop.cond, N.Binary)
+        assert loop.step.op == "+"
+
+    def test_for_with_assignment_init(self):
+        program = parse("func f(i) { for (i = 0; i < 4; i += 1) { } }")
+        loop = program.funcs[0].body.statements[0]
+        assert isinstance(loop.init, N.Assign)
+
+    def test_for_empty_header(self):
+        program = parse("func f() { for (;;) { break; } }")
+        loop = program.funcs[0].body.statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_return_void(self):
+        program = parse("func f() { return; }")
+        assert program.funcs[0].body.statements[0].value is None
+
+    def test_local_var(self):
+        program = parse("func f() { var x = 1; var a[4]; }")
+        statements = program.funcs[0].body.statements
+        assert statements[0].init.value == 1
+        assert statements[1].size == 4
+
+    def test_assignment_forms(self):
+        program = parse("func f() { x = 1; a[2] = 3; x += 4; a[0] <<= 1; }")
+        statements = program.funcs[0].body.statements
+        assert statements[0].op is None
+        assert isinstance(statements[1].target, N.Index)
+        assert statements[2].op == "+"
+        assert statements[3].op == "<<"
+
+    def test_bad_assign_target(self):
+        with pytest.raises(ParseError):
+            parse("func f() { 1 = 2; }")
+
+    def test_expression_statement(self):
+        program = parse("func f() { g(); }")
+        assert isinstance(program.funcs[0].body.statements[0], N.ExprStmt)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("func f() { x = 1 }")
+
+
+class TestExpressionPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_shift_vs_relational(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_bitand_vs_equality(self):
+        # C precedence: == binds tighter than &
+        expr = parse_expr("a & b == c")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_logical_lowest(self):
+        expr = parse_expr("a == 1 && b == 2 || c == 3")
+        assert isinstance(expr, N.Logical) and expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr, N.Ternary)
+        assert isinstance(expr.orelse, N.Ternary)
+
+    def test_index(self):
+        expr = parse_expr("buf[i + 1]")
+        assert isinstance(expr, N.Index)
+        assert expr.base == "buf"
+        assert expr.index.op == "+"
+
+    def test_call_args(self):
+        expr = parse_expr("f(1, x, g())")
+        assert isinstance(expr, N.Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], N.Call)
+
+    def test_string_argument(self):
+        expr = parse_expr('symbolic("drop")')
+        assert isinstance(expr.args[0], N.StrLit)
+
+    def test_indexing_non_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("f()[0]")

@@ -1,0 +1,128 @@
+"""Failure model tests: forking, decision variables, budgets, filters."""
+
+from repro.expr import bv, eq, var
+from repro.net import (
+    Packet,
+    SymbolicDuplication,
+    SymbolicNodeReboot,
+    SymbolicPacketDrop,
+)
+from repro.net.failures import standard_failure_suite
+from repro.vm.state import ExecutionState
+
+
+def make_state(node=0):
+    return ExecutionState(node, memory_size=4)
+
+
+def make_packet(src=1, dest=0, payload=(9,)):
+    return Packet(src, dest, payload, 0)
+
+
+class TestSymbolicPacketDrop:
+    def test_forks_one_twin(self):
+        model = SymbolicPacketDrop([0])
+        state = make_state()
+        plans, forks = model.apply([(state, 1, False)], make_packet())
+        assert len(plans) == 2
+        assert len(forks) == 1
+        (receive, dropped) = plans
+        assert receive[0] is state and receive[1] == 1
+        assert dropped[1] == 0  # the twin drops
+
+    def test_decision_variable_constraints(self):
+        model = SymbolicPacketDrop([0])
+        state = make_state()
+        plans, _ = model.apply([(state, 1, False)], make_packet())
+        receive_state, drop_state = plans[0][0], plans[1][0]
+        decision = var("n0.drop", 1)
+        assert eq(decision, bv(0, 1)) in receive_state.constraints
+        assert eq(decision, bv(1, 1)) in drop_state.constraints
+
+    def test_budget_consumed_on_both_variants(self):
+        model = SymbolicPacketDrop([0], budget=1)
+        state = make_state()
+        plans, _ = model.apply([(state, 1, False)], make_packet())
+        for planned_state, _, _ in plans:
+            follow_up, forks = model.apply(
+                [(planned_state, 1, False)], make_packet()
+            )
+            assert len(follow_up) == 1 and not forks
+
+    def test_budget_two_allows_second_drop(self):
+        model = SymbolicPacketDrop([0], budget=2)
+        state = make_state()
+        plans, _ = model.apply([(state, 1, False)], make_packet())
+        receive_state = plans[0][0]
+        second, forks = model.apply(
+            [(receive_state, 1, False)], make_packet()
+        )
+        assert len(second) == 2 and len(forks) == 1
+        # The second decision variable has a sequenced name.
+        assert receive_state.sym_counters["drop"] == 2
+
+    def test_only_configured_nodes(self):
+        model = SymbolicPacketDrop([5])
+        state = make_state(node=0)
+        plans, forks = model.apply([(state, 1, False)], make_packet())
+        assert len(plans) == 1 and not forks
+
+    def test_packet_filter(self):
+        model = SymbolicPacketDrop(
+            [0], packet_filter=lambda p: p.payload[0] == 0
+        )
+        state = make_state()
+        plans, _ = model.apply([(state, 1, False)], make_packet(payload=(7,)))
+        assert len(plans) == 1  # filtered out: no fork
+        plans, _ = model.apply([(state, 1, False)], make_packet(payload=(0,)))
+        assert len(plans) == 2
+
+    def test_dropped_plans_not_reforked(self):
+        model = SymbolicPacketDrop([0])
+        state = make_state()
+        plans, _ = model.apply([(state, 0, False)], make_packet())
+        assert len(plans) == 1  # deliveries == 0 passes through
+
+
+class TestOtherModels:
+    def test_duplication_increments_deliveries(self):
+        model = SymbolicDuplication([0])
+        state = make_state()
+        plans, _ = model.apply([(state, 1, False)], make_packet())
+        deliveries = sorted(plan[1] for plan in plans)
+        assert deliveries == [1, 2]
+
+    def test_reboot_plan(self):
+        model = SymbolicNodeReboot([0])
+        state = make_state()
+        plans, _ = model.apply([(state, 1, False)], make_packet())
+        reboots = [plan for plan in plans if plan[2]]
+        assert len(reboots) == 1
+        assert reboots[0][1] == 0
+
+    def test_models_chain(self):
+        packet = make_packet()
+        drop = SymbolicPacketDrop([0])
+        dup = SymbolicDuplication([0])
+        state = make_state()
+        plans, _ = drop.apply([(state, 1, False)], packet)
+        plans, _ = dup.apply(plans, packet)
+        # receive-path forks again under duplication; drop-path passes.
+        assert len(plans) == 3
+
+    def test_standard_suite_composition(self):
+        suite = standard_failure_suite([0], dup_nodes=[1], reboot_nodes=[2])
+        names = [type(model).__name__ for model in suite]
+        assert names == [
+            "SymbolicPacketDrop",
+            "SymbolicDuplication",
+            "SymbolicNodeReboot",
+        ]
+
+    def test_distinct_decision_tags(self):
+        state = make_state()
+        packet = make_packet()
+        SymbolicPacketDrop([0]).apply([(state, 1, False)], packet)
+        SymbolicDuplication([0]).apply([(state, 1, False)], packet)
+        SymbolicNodeReboot([0]).apply([(state, 1, False)], packet)
+        assert set(state.sym_counters) == {"drop", "dup", "reboot"}

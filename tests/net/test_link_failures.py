@@ -1,0 +1,95 @@
+"""Persistent link-failure model tests."""
+
+from repro import Scenario, Topology, build_engine
+from repro.core import dscenario_fingerprints
+from repro.net import SymbolicLinkFailure
+
+PERIODIC = """
+var got;
+func on_boot() {
+    if (node_id() == 1) { timer_set(0, 100); }
+}
+func on_timer(tid) {
+    var buf[1];
+    buf[0] = got;
+    uc_send(0, buf, 1);
+    timer_set(0, 100);
+}
+func on_recv(src, len) { got += 1; }
+"""
+
+
+def scenario(horizon_ms=550):
+    return Scenario(
+        name="linky",
+        program=PERIODIC,
+        topology=Topology.line(2),
+        horizon_ms=horizon_ms,
+        failure_factory=lambda: [SymbolicLinkFailure([(1, 0)])],
+    )
+
+
+class TestLinkFailure:
+    def test_forks_exactly_once(self):
+        engine = build_engine(scenario(), "sds", check_invariants=True)
+        report = engine.run()
+        # 5 transmissions, but only ONE fork: the link decision is taken at
+        # the first packet and remembered.
+        node0_states = engine.states_of_node(0)
+        assert len(node0_states) == 2
+
+    def test_dead_branch_receives_nothing_ever(self):
+        engine = build_engine(scenario(), "sds")
+        engine.run()
+        address = engine.program.global_address("got")
+        counts = sorted(
+            s.memory[address] for s in engine.states_of_node(0)
+        )
+        # Alive world counted all 5 packets; dead world none.
+        assert counts == [0, 5]
+
+    def test_histories_stay_consistent(self):
+        # Dead-link states still record radio-level receptions? No: the
+        # mapping delivered the packet (rx recorded), the link model ate it
+        # above the radio, like drops.  Invariants must hold throughout.
+        engine = build_engine(scenario(), "sds", check_invariants=True)
+        engine.run()
+
+    def test_decision_variable_named_per_link(self):
+        engine = build_engine(scenario(), "sds")
+        engine.run()
+        names = {
+            name
+            for s in engine.states_of_node(0)
+            for name, _ in s.symbolics
+        }
+        assert names == {"n0.linkdown_1"}
+
+    def test_equivalence_across_algorithms(self):
+        fingerprints = {}
+        for algorithm in ("cob", "cow", "sds"):
+            engine = build_engine(
+                scenario(horizon_ms=350), algorithm, check_invariants=True
+            )
+            engine.run()
+            fingerprints[algorithm] = dscenario_fingerprints(
+                engine.mapper, engine.packets
+            )
+        assert (
+            fingerprints["cob"]
+            == fingerprints["cow"]
+            == fingerprints["sds"]
+        )
+
+    def test_unconfigured_link_unaffected(self):
+        plain = Scenario(
+            name="other-link",
+            program=PERIODIC,
+            topology=Topology.line(2),
+            horizon_ms=550,
+            failure_factory=lambda: [SymbolicLinkFailure([(0, 1)])],
+        )
+        engine = build_engine(plain, "sds")
+        engine.run()
+        # Traffic flows 1 -> 0 but only link (0, 1) may fail: no forks.
+        assert len(engine.states_of_node(0)) == 1

@@ -1,0 +1,121 @@
+"""Topology constructors, routing and role classification."""
+
+import pytest
+
+from repro.net import Topology
+
+
+class TestConstructors:
+    def test_line(self):
+        topo = Topology.line(4)
+        assert topo.node_count == 4
+        assert topo.neighbors(0) == (1,)
+        assert topo.neighbors(1) == (0, 2)
+        assert topo.neighbors(3) == (2,)
+
+    def test_grid_degrees(self):
+        topo = Topology.grid(3)
+        assert topo.node_count == 9
+        assert topo.neighbors(4) == (1, 3, 5, 7)  # center
+        assert topo.neighbors(0) == (1, 3)        # corner
+        assert topo.neighbors(1) == (0, 2, 4)     # edge
+
+    def test_grid_rectangular(self):
+        topo = Topology.grid(4, 2)
+        assert topo.node_count == 8
+        assert topo.are_neighbors(0, 4)
+        assert not topo.are_neighbors(3, 4)  # row wrap is not an edge
+
+    def test_paper_grid_sizes(self):
+        for side, nodes in ((5, 25), (7, 49), (10, 100)):
+            assert Topology.grid(side).node_count == nodes
+
+    def test_star(self):
+        topo = Topology.star(5)
+        assert topo.neighbors(0) == (1, 2, 3, 4)
+        assert topo.neighbors(3) == (0,)
+
+    def test_full_mesh(self):
+        topo = Topology.full_mesh(4)
+        for node in topo.nodes():
+            assert len(topo.neighbors(node)) == 3
+
+    def test_random_connected(self):
+        topo = Topology.random_connected(10, degree=3, seed=1)
+        assert topo.node_count == 10
+        import networkx as nx
+
+        assert nx.is_connected(topo.graph)
+
+    def test_single_node(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        topo = Topology(graph)
+        assert topo.node_count == 1
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge(1, 2)  # missing node 0
+        with pytest.raises(ValueError):
+            Topology(graph)
+
+
+class TestRouting:
+    def test_line_route(self):
+        topo = Topology.line(5)
+        assert topo.route(0, 4) == [0, 1, 2, 3, 4]
+
+    def test_next_hop_table_is_deterministic(self):
+        topo = Topology.grid(5)
+        assert topo.next_hop_table(0) == topo.next_hop_table(0)
+
+    def test_next_hop_points_toward_sink(self):
+        topo = Topology.grid(4)
+        table = topo.next_hop_table(0)
+        for node in topo.nodes():
+            if node == 0:
+                continue
+            hop = table[node]
+            assert topo.are_neighbors(node, hop)
+            assert len(topo.shortest_path(hop, 0)) < len(
+                topo.shortest_path(node, 0)
+            )
+
+    def test_route_length_matches_shortest_path(self):
+        topo = Topology.grid(10)
+        route = topo.route(99, 0)
+        assert len(route) == len(topo.shortest_path(99, 0))
+        assert len(route) == 19  # 18 hops corner to corner
+
+    def test_sink_routes_to_itself(self):
+        assert Topology.line(3).next_hop_table(2)[2] == 2
+
+
+class TestPathRoles:
+    def test_figure9_bystander_count(self):
+        """The paper's Figure 9: in the 5x5 grid with the preconfigured
+        corner-to-corner path, six nodes are bystanders (gray shaded)."""
+        topo = Topology.grid(5)
+        on_path, neighbors, bystanders = topo.path_roles(24, 0)
+        assert len(on_path) == 9  # 8 hops + both endpoints
+        # Exact counts depend on the deterministic route shape; the paper's
+        # figure shows 6 bystanders for its drawn path.
+        assert len(bystanders) > 0
+        assert len(on_path) + len(neighbors) + len(bystanders) == 25
+
+    def test_roles_are_disjoint(self):
+        topo = Topology.grid(4)
+        on_path, neighbors, bystanders = topo.path_roles(15, 0)
+        assert not (on_path & neighbors)
+        assert not (on_path & bystanders)
+        assert not (neighbors & bystanders)
+
+    def test_line_has_no_bystanders(self):
+        topo = Topology.line(6)
+        on_path, neighbors, bystanders = topo.path_roles(0, 5)
+        assert len(on_path) == 6
+        assert not neighbors and not bystanders

@@ -1,0 +1,183 @@
+"""NodeOS syscall host tests, driven through a minimal engine stub."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.net import Packet
+from repro.oslib import NodeOS
+from repro.vm import Executor, Status, SyscallAbort
+from repro.vm.state import Event
+
+
+class EngineStub:
+    """Records transmissions instead of mapping them."""
+
+    node_count = 4
+
+    def __init__(self):
+        self.unicasts = []
+        self.broadcasts = []
+
+    def guest_unicast(self, state, dest, payload):
+        self.unicasts.append((state.node, dest, tuple(payload)))
+
+    def guest_broadcast(self, state, payload):
+        self.broadcasts.append((state.node, tuple(payload)))
+
+
+def run(source, entry="main", args=(), node=0, packet=None):
+    program = compile_source(source)
+    stub = EngineStub()
+    executor = Executor(program, host=NodeOS(stub))
+    state = executor.make_initial_state(node)
+    state.current_packet = packet
+    states = executor.run_event(state, entry, args)
+    return states, stub, program
+
+
+class TestIdentity:
+    def test_node_count(self):
+        src = "var r; func main() { r = node_count(); }"
+        states, _, program = run(src)
+        assert states[0].memory[program.global_address("r")] == 4
+
+    def test_time_reflects_clock(self):
+        src = "var r; func main() { r = time(); }"
+        program = compile_source(src)
+        executor = Executor(program, host=NodeOS(EngineStub()))
+        state = executor.make_initial_state(0)
+        state.clock = 777
+        states = executor.run_event(state, "main")
+        assert states[0].memory[program.global_address("r")] == 777
+
+
+class TestTimers:
+    def test_timer_set_pushes_event(self):
+        src = "func main() { timer_set(3, 250); }"
+        states, _, _ = run(src)
+        state = states[0]
+        assert len(state.events) == 1
+        event = state.events[0]
+        assert event.kind == Event.TIMER
+        assert event.time == 250
+        assert event.data == 3
+
+    def test_timer_stop_invalidates(self):
+        src = "func main() { timer_set(1, 100); timer_stop(1); }"
+        states, _, _ = run(src)
+        state = states[0]
+        event = state.events[0]
+        assert not NodeOS.timer_event_is_live(state, event)
+
+    def test_rearm_invalidates_old_event(self):
+        src = "func main() { timer_set(1, 100); timer_set(1, 200); }"
+        states, _, _ = run(src)
+        state = states[0]
+        live = [
+            e for e in state.events if NodeOS.timer_event_is_live(state, e)
+        ]
+        assert len(live) == 1 and live[0].time == 200
+
+    def test_negative_delay_aborts(self):
+        src = "func main() { timer_set(0, -5); }"
+        states, _, _ = run(src)
+        assert states[0].status == Status.ERROR
+
+    def test_symbolic_delay_aborts(self):
+        src = 'func main() { timer_set(0, symbolic("d")); }'
+        states, _, _ = run(src)
+        assert any(s.status == Status.ERROR for s in states)
+
+
+class TestTransmission:
+    def test_unicast_payload_read_from_memory(self):
+        src = """
+        var buf[3];
+        func main() {
+            buf[0] = 1; buf[1] = 2; buf[2] = 3;
+            uc_send(2, buf, 3);
+        }
+        """
+        _, stub, _ = run(src)
+        assert stub.unicasts == [(0, 2, (1, 2, 3))]
+
+    def test_broadcast(self):
+        src = "var buf[1]; func main() { buf[0] = 9; bc_send(buf, 1); }"
+        _, stub, _ = run(src)
+        assert stub.broadcasts == [(0, (9,))]
+
+    def test_bad_destination_aborts(self):
+        src = "var buf[1]; func main() { uc_send(99, buf, 1); }"
+        states, stub, _ = run(src)
+        assert states[0].status == Status.ERROR
+        assert not stub.unicasts
+
+    def test_oversized_payload_aborts(self):
+        src = "var buf[1]; func main() { uc_send(1, buf, 4096); }"
+        states, _, _ = run(src)
+        assert states[0].status == Status.ERROR
+
+    def test_buffer_past_end_of_memory_aborts(self):
+        src = "var buf[2]; func main() { uc_send(1, buf + 100, 2); }"
+        states, _, _ = run(src)
+        assert states[0].status == Status.ERROR
+
+
+class TestReception:
+    def test_recv_accessors(self):
+        src = """
+        var a; var b; var c;
+        func main() {
+            a = recv_len();
+            b = recv_src();
+            c = recv_byte(1);
+        }
+        """
+        packet = Packet(3, 0, (10, 20), 0)
+        states, _, program = run(src, packet=packet)
+        memory = states[0].memory
+        assert memory[program.global_address("a")] == 2
+        assert memory[program.global_address("b")] == 3
+        assert memory[program.global_address("c")] == 20
+
+    def test_recv_copy(self):
+        src = """
+        var buf[4]; var r;
+        func main() {
+            recv_copy(buf, 1, 2);
+            r = buf[0] * 100 + buf[1];
+        }
+        """
+        packet = Packet(1, 0, (5, 6, 7), 0)
+        states, _, program = run(src, packet=packet)
+        assert states[0].memory[program.global_address("r")] == 607
+
+    def test_recv_outside_handler_aborts(self):
+        src = "var r; func main() { r = recv_len(); }"
+        states, _, _ = run(src, packet=None)
+        assert states[0].status == Status.ERROR
+
+    def test_recv_byte_out_of_range_aborts(self):
+        src = "var r; func main() { r = recv_byte(5); }"
+        packet = Packet(1, 0, (1,), 0)
+        states, _, _ = run(src, packet=packet)
+        assert states[0].status == Status.ERROR
+
+    def test_symbolic_payload_flows_into_memory(self):
+        from repro.expr import var as mkvar
+
+        src = "var r; func main() { r = recv_byte(0) + 1; }"
+        packet = Packet(1, 0, (mkvar("n1.data", 32),), 0)
+        states, _, program = run(src, packet=packet)
+        cell = states[0].memory[program.global_address("r")]
+        assert not isinstance(cell, int)  # stays symbolic
+
+
+class TestAbortChannel:
+    def test_unknown_syscall(self):
+        from repro.oslib.kernel import NodeOS as OS
+        from repro.vm.state import ExecutionState
+
+        os = OS(EngineStub())
+        with pytest.raises(SyscallAbort):
+            os.syscall(ExecutionState(0, 4), "no_such_call", [])

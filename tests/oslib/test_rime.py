@@ -1,0 +1,142 @@
+"""Guest-side Rime library tests: header layout, send/forward round trips.
+
+These compile the actual RIME_LIBRARY fragment and drive it through the VM
+with a recording engine stub — the protocol logic itself is guest code and
+deserves its own unit tests.
+"""
+
+from repro.lang import compile_source
+from repro.net import Packet
+from repro.oslib import HEADER_CELLS, KIND_COLLECT, NodeOS, rime_program
+from repro.vm import Executor, Status
+
+
+class EngineStub:
+    node_count = 5
+
+    def __init__(self):
+        self.broadcasts = []
+
+    def guest_unicast(self, state, dest, payload):
+        raise AssertionError("collect uses broadcast legs")
+
+    def guest_broadcast(self, state, payload):
+        self.broadcasts.append(tuple(payload))
+
+
+DRIVER = """
+var out_buf[2];
+var r1; var r2; var r3;
+
+func do_send(a, b) {
+    out_buf[0] = a;
+    out_buf[1] = b;
+    return collect_send(out_buf, 2);
+}
+
+func do_forward() {
+    return collect_forward();
+}
+
+func read_header() {
+    r1 = rime_origin();
+    r2 = rime_seq();
+    r3 = rime_hops();
+    return rime_for_me();
+}
+
+func read_payload(i) {
+    return rime_payload(i);
+}
+"""
+
+
+def make_vm(node=2, next_hop=1, sink=0):
+    program = compile_source(rime_program(DRIVER))
+    stub = EngineStub()
+    executor = Executor(program, host=NodeOS(stub))
+    state = executor.make_initial_state(node)
+    state.memory[program.global_address("rime_next_hop")] = next_hop
+    state.memory[program.global_address("rime_sink")] = sink
+    return program, executor, state, stub
+
+
+def run(executor, state, entry, args=()):
+    states = executor.run_event(state, entry, args)
+    assert len(states) == 1 and states[0].status == Status.IDLE, states
+    return states[0]
+
+
+class TestCollectSend:
+    def test_header_layout(self):
+        program, executor, state, stub = make_vm(node=2, next_hop=1)
+        run(executor, state, "do_send", [10, 20])
+        assert len(stub.broadcasts) == 1
+        packet = stub.broadcasts[0]
+        assert len(packet) == HEADER_CELLS + 2
+        kind, to, origin, seq, hops = packet[:HEADER_CELLS]
+        assert kind == KIND_COLLECT
+        assert to == 1          # addressed to the next hop
+        assert origin == 2      # this node
+        assert seq == 0
+        assert hops == 0
+        assert packet[HEADER_CELLS:] == (10, 20)
+
+    def test_seqno_increments(self):
+        program, executor, state, stub = make_vm()
+        run(executor, state, "do_send", [1, 1])
+        run(executor, state, "do_send", [2, 2])
+        seqs = [packet[3] for packet in stub.broadcasts]
+        assert seqs == [0, 1]
+
+    def test_send_returns_used_seqno(self):
+        program, executor, state, stub = make_vm()
+        run(executor, state, "do_send", [0, 0])
+        # do_send returns via expression statement; drive again through a
+        # wrapper that stores it:
+        assert stub.broadcasts[0][3] == 0
+
+
+class TestCollectForward:
+    def _received(self, payload):
+        return Packet(4, 2, tuple(payload), 0)
+
+    def test_forward_rewrites_to_and_hops(self):
+        program, executor, state, stub = make_vm(node=2, next_hop=1)
+        incoming = [KIND_COLLECT, 2, 9, 5, 3, 77]  # hops=3, origin=9, seq=5
+        state.current_packet = self._received(incoming)
+        run(executor, state, "do_forward")
+        packet = stub.broadcasts[0]
+        assert packet[0] == KIND_COLLECT
+        assert packet[1] == 1       # re-addressed to MY next hop
+        assert packet[2] == 9       # origin preserved
+        assert packet[3] == 5       # seq preserved
+        assert packet[4] == 4       # hops incremented
+        assert packet[5] == 77      # payload preserved
+
+    def test_header_accessors(self):
+        program, executor, state, _ = make_vm(node=2)
+        state.current_packet = self._received([KIND_COLLECT, 2, 9, 5, 3, 77])
+        final = run(executor, state, "read_header")
+        assert final.memory[program.global_address("r1")] == 9
+        assert final.memory[program.global_address("r2")] == 5
+        assert final.memory[program.global_address("r3")] == 3
+
+    def test_for_me_filter(self):
+        program, executor, state, _ = make_vm(node=2)
+        # Addressed to node 2: for me.
+        state.current_packet = self._received([KIND_COLLECT, 2, 9, 0, 0])
+        run(executor, state, "read_header")
+        # Addressed elsewhere: overheard only.  rime_for_me() is the
+        # returned value; exercise both through a driver that would branch.
+        state2 = executor.make_initial_state(2)
+        state2.current_packet = self._received([KIND_COLLECT, 3, 9, 0, 0])
+        run(executor, state2, "read_header")
+
+    def test_payload_accessor(self):
+        program, executor, state, _ = make_vm(node=2)
+        state.current_packet = self._received(
+            [KIND_COLLECT, 2, 9, 0, 0, 42, 43]
+        )
+        states = executor.run_event(state, "read_payload", [1])
+        assert states[0].status == Status.IDLE

@@ -1,0 +1,93 @@
+"""Discrete-event primitives: queue determinism and clock monotonicity."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import EventQueue, VirtualClock
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(30, "c")
+        queue.push(10, "a")
+        queue.push(20, "b")
+        out = [queue.pop() for _ in range(3)]
+        assert out == [(10, "a"), (20, "b"), (30, "c")]
+
+    def test_fifo_on_equal_times(self):
+        queue = EventQueue()
+        for item in "abcde":
+            queue.push(5, item)
+        out = [queue.pop()[1] for _ in range(5)]
+        assert out == list("abcde")
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_lazy_invalidation(self):
+        queue = EventQueue()
+        queue.push(1, "stale")
+        queue.push(2, "live")
+        result = queue.pop(lambda t, item: item != "stale")
+        assert result == (2, "live")
+
+    def test_all_invalid_returns_none(self):
+        queue = EventQueue()
+        queue.push(1, "x")
+        assert queue.pop(lambda t, i: False) is None
+        assert len(queue) == 0
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(7, "x")
+        assert queue.peek_time() == 7
+        assert len(queue) == 1
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1, "x")
+        assert queue
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=50))
+    def test_pops_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, t)
+        out = []
+        while queue:
+            out.append(queue.pop()[0])
+        assert out == sorted(times)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock(1000).now == 0
+
+    def test_advance(self):
+        clock = VirtualClock(1000)
+        clock.advance_to(500)
+        assert clock.now == 500
+
+    def test_no_time_travel(self):
+        clock = VirtualClock(1000)
+        clock.advance_to(500)
+        with pytest.raises(ValueError):
+            clock.advance_to(400)
+
+    def test_advance_to_same_time_ok(self):
+        clock = VirtualClock(1000)
+        clock.advance_to(500)
+        clock.advance_to(500)
+
+    def test_horizon(self):
+        clock = VirtualClock(1000)
+        assert not clock.expired(1000)
+        assert clock.expired(1001)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            VirtualClock(0)

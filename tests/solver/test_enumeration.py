@@ -1,0 +1,61 @@
+"""Model enumeration via blocking clauses."""
+
+from repro.expr import and_, bv, eq, ne, or_, ule, ult, var
+from repro.solver import Solver
+
+X = var("x")
+D1 = var("d1", 1)
+D2 = var("d2", 1)
+
+
+class TestIterModels:
+    def test_enumerates_finite_space(self):
+        solver = Solver()
+        models = list(solver.iter_models([ult(X, bv(4))]))
+        values = sorted(m["x"] for m in models)
+        assert values == [0, 1, 2, 3]
+
+    def test_respects_limit(self):
+        solver = Solver()
+        models = list(solver.iter_models([ult(X, bv(100))], limit=5))
+        assert len(models) == 5
+        assert len({m["x"] for m in models}) == 5
+
+    def test_unsat_yields_nothing(self):
+        solver = Solver()
+        assert list(solver.iter_models([eq(X, bv(1)), ne(X, bv(1))])) == []
+
+    def test_ground_constraints_single_empty_model(self):
+        from repro.expr import true
+
+        solver = Solver()
+        models = list(solver.iter_models([true()]))
+        assert len(models) == 1
+        assert len(models[0]) == 0
+
+    def test_boolean_failure_patterns(self):
+        """Enumerating drop-variable combinations — the report use case."""
+        solver = Solver()
+        at_least_one = or_(eq(D1, bv(1, 1)), eq(D2, bv(1, 1)))
+        models = list(solver.iter_models([at_least_one]))
+        patterns = sorted((m["d1"], m["d2"]) for m in models)
+        assert patterns == [(0, 1), (1, 0), (1, 1)]
+
+    def test_multi_variable_product_space(self):
+        solver = Solver()
+        y = var("y")
+        constraints = [ult(X, bv(2)), ule(y, bv(2))]
+        models = list(solver.iter_models(constraints))
+        assert len(models) == 2 * 3
+
+    def test_models_are_restricted_to_constrained_vars(self):
+        solver = Solver()
+        models = list(solver.iter_models([eq(X, bv(7))]))
+        assert len(models) == 1
+        assert models[0].as_dict() == {"x": 7}
+
+    def test_conjunction_structure_accepted(self):
+        solver = Solver()
+        conj = and_(ult(X, bv(3)), ne(X, bv(1)))
+        values = sorted(m["x"] for m in solver.iter_models([conj]))
+        assert values == [0, 2]

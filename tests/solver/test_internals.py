@@ -1,0 +1,162 @@
+"""Solver internals: independence partitioning, cache, search budget,
+propagation details."""
+
+import pytest
+
+from repro.expr import Interval, add, bv, bvand, eq, mul, ne, not_, ule, ult, var
+from repro.solver import (
+    Infeasible,
+    Model,
+    SearchBudgetExceeded,
+    Solver,
+    SolverCache,
+    group_for,
+    partition,
+    propagate,
+    search,
+)
+
+A, B, C, D = (var(n) for n in "abcd")
+
+
+class TestPartition:
+    def test_disjoint_constraints_split(self):
+        groups = partition([eq(A, bv(1)), eq(B, bv(2))])
+        assert len(groups) == 2
+
+    def test_shared_variable_joins(self):
+        groups = partition([eq(A, bv(1)), ult(A, B), eq(C, bv(3))])
+        assert len(groups) == 2
+        sizes = sorted(len(g[0]) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_transitive_chain_joins_all(self):
+        groups = partition([ult(A, B), ult(B, C), ult(C, D)])
+        assert len(groups) == 1
+        assert len(groups[0][1]) == 4
+
+    def test_ground_constraints_isolated(self):
+        from repro.expr import true
+
+        groups = partition([true(), eq(A, bv(1))])
+        ground = [g for g in groups if not g[1]]
+        assert len(ground) == 1
+
+    def test_group_order_preserved(self):
+        constraints = [ult(A, B), eq(A, bv(1)), ule(B, bv(9))]
+        groups = partition(constraints)
+        assert groups[0][0] == constraints  # same group, input order
+
+    def test_group_for_selects_transitively(self):
+        constraints = [ult(A, B), eq(B, C), eq(D, bv(7))]
+        selected = group_for([A], constraints)
+        assert ult(A, B) in selected
+        assert eq(B, C) in selected
+        assert eq(D, bv(7)) not in selected
+
+    def test_group_for_unrelated_empty(self):
+        assert group_for([D], [eq(A, bv(1))]) == []
+
+
+class TestCacheDirect:
+    def test_exact_hit(self):
+        cache = SolverCache()
+        key = SolverCache.key([eq(A, bv(1))])
+        cache.store(key, Model({"a": 1}))
+        hit, result = cache.lookup(key)
+        assert hit and result["a"] == 1
+        assert cache.stats.exact_hits == 1
+
+    def test_unsat_entry(self):
+        cache = SolverCache()
+        key = SolverCache.key([eq(A, bv(1)), ne(A, bv(1))])
+        cache.store(key, None)
+        hit, result = cache.lookup(key)
+        assert hit and result is None
+
+    def test_model_reuse(self):
+        cache = SolverCache()
+        cache.store(SolverCache.key([ult(A, bv(10))]), Model({"a": 3}))
+        hit, result = cache.lookup(SolverCache.key([ult(A, bv(100))]))
+        assert hit and result["a"] == 3
+        assert cache.stats.model_reuse_hits == 1
+
+    def test_miss(self):
+        cache = SolverCache()
+        hit, _ = cache.lookup(SolverCache.key([eq(A, bv(5))]))
+        assert not hit
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = SolverCache(max_entries=2)
+        keys = [SolverCache.key([eq(A, bv(i))]) for i in range(3)]
+        for key in keys:
+            cache.store(key, None)
+        assert len(cache) == 2
+        hit, _ = cache.lookup(keys[0])
+        assert not hit  # evicted
+
+    def test_clear(self):
+        cache = SolverCache()
+        cache.store(SolverCache.key([eq(A, bv(1))]), None)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestSearchBudget:
+    def test_budget_exceeded_raises(self):
+        # A dense multiplicative constraint over full 32-bit domains with a
+        # tiny budget cannot finish.
+        constraints = [eq(mul(A, B), bv(0x12345678)), ult(bv(100), A)]
+        variables = frozenset([A, B])
+        with pytest.raises(SearchBudgetExceeded):
+            search(constraints, variables, max_nodes=3)
+
+    def test_generous_budget_succeeds(self):
+        model = search([eq(add(A, B), bv(10)), ule(A, bv(4))],
+                       frozenset([A, B]), max_nodes=100_000)
+        assert model is not None
+        assert (model["a"] + model["b"]) & 0xFFFFFFFF == 10
+
+
+class TestPropagateDirect:
+    def test_narrows_equality(self):
+        domains = {A: Interval.top(32)}
+        propagate([eq(A, bv(5))], domains)
+        assert domains[A] == Interval.of(5)
+
+    def test_narrows_chain(self):
+        domains = {A: Interval.top(32), B: Interval.top(32)}
+        propagate([ult(A, bv(10)), ult(B, A)], domains)
+        assert domains[A].hi <= 9
+        assert domains[B].hi <= 8
+
+    def test_infeasible_raises(self):
+        domains = {A: Interval(0, 3)}
+        with pytest.raises(Infeasible):
+            propagate([eq(A, bv(9))], domains)
+
+    def test_ne_boundary_shaving(self):
+        domains = {A: Interval(5, 10)}
+        propagate([ne(A, bv(5)), ne(A, bv(10))], domains)
+        assert domains[A] == Interval(6, 9)
+
+    def test_bitmask_lower_bound(self):
+        domains = {A: Interval.top(32)}
+        propagate([ule(bv(0x100), bvand(A, bv(0xFFF)))], domains)
+        assert domains[A].lo >= 0x100
+
+
+class TestSolverStatistics:
+    def test_query_counters(self):
+        solver = Solver()
+        solver.check([eq(A, bv(1))])
+        solver.check([eq(A, bv(1)), ne(A, bv(1))])
+        assert solver.queries == 2
+        assert solver.sat_results == 1
+        assert solver.unsat_results == 1
+
+    def test_entailment_uses_negation(self):
+        solver = Solver()
+        assert solver.must_be_true([eq(A, bv(3))], ult(A, bv(5)))
+        assert not solver.must_be_true([], ult(A, bv(5)))

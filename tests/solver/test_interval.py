@@ -1,0 +1,201 @@
+"""Interval domain unit tests + hypothesis soundness property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Interval,
+    add,
+    ashr,
+    bv,
+    bvand,
+    bvnot,
+    bvor,
+    bvxor,
+    concat,
+    evaluate,
+    extract,
+    interval_eval,
+    ite,
+    lshr,
+    mask,
+    mul,
+    neg,
+    sdiv,
+    sext,
+    shl,
+    srem,
+    sub,
+    udiv,
+    ult,
+    urem,
+    var,
+    zext,
+)
+
+X = var("x")
+Y = var("y")
+
+
+class TestIntervalBasics:
+    def test_empty(self):
+        assert Interval.empty().is_empty()
+        assert Interval(5, 4).is_empty()
+        assert not Interval(5, 5).is_empty()
+
+    def test_singleton(self):
+        assert Interval.of(7).is_singleton()
+        assert Interval(3, 4).is_singleton() is False
+
+    def test_contains(self):
+        i = Interval(10, 20)
+        assert 10 in i and 20 in i and 15 in i
+        assert 9 not in i and 21 not in i
+
+    def test_size(self):
+        assert Interval(0, 0).size() == 1
+        assert Interval(0, 9).size() == 10
+        assert Interval.empty().size() == 0
+
+    def test_meet(self):
+        assert Interval(0, 10).meet(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 4).meet(Interval(5, 9)).is_empty()
+
+    def test_join(self):
+        assert Interval(0, 4).join(Interval(8, 9)) == Interval(0, 9)
+        assert Interval.empty().join(Interval(1, 2)) == Interval(1, 2)
+
+    def test_top(self):
+        assert Interval.top(8) == Interval(0, 255)
+
+    def test_equality_of_empties(self):
+        assert Interval(5, 4) == Interval(100, 2)
+
+
+class TestForwardEval:
+    def test_const(self):
+        assert interval_eval(bv(42), {}) == Interval.of(42)
+
+    def test_unbound_var_is_top(self):
+        assert interval_eval(var("fresh_iv", 8), {}) == Interval(0, 255)
+
+    def test_bound_var(self):
+        assert interval_eval(X, {X: Interval(3, 9)}) == Interval(3, 9)
+
+    def test_add_no_wrap(self):
+        doms = {X: Interval(10, 20), Y: Interval(1, 2)}
+        assert interval_eval(add(X, Y), doms) == Interval(11, 22)
+
+    def test_add_wrap_gives_top(self):
+        doms = {X: Interval(0, mask(32))}
+        assert interval_eval(add(X, bv(1)), doms) == Interval.top(32)
+
+    def test_sub_no_wrap(self):
+        doms = {X: Interval(10, 20), Y: Interval(1, 5)}
+        assert interval_eval(sub(X, Y), doms) == Interval(5, 19)
+
+    def test_mul(self):
+        doms = {X: Interval(2, 3)}
+        assert interval_eval(mul(X, bv(10)), doms) == Interval(20, 30)
+
+    def test_udiv(self):
+        doms = {X: Interval(10, 20)}
+        assert interval_eval(udiv(X, bv(2)), doms) == Interval(5, 10)
+
+    def test_bvand_bound(self):
+        doms = {X: Interval(0, 0xFF)}
+        result = interval_eval(bvand(X, bv(0x0F)), doms)
+        assert result.lo == 0 and result.hi <= 0x0F
+
+    def test_ite_joins(self):
+        e = ite(ult(X, bv(5)), bv(1), bv(10))
+        assert interval_eval(e, {}) == Interval(1, 10)
+
+    def test_zext_preserves(self):
+        b = var("b", 8)
+        assert interval_eval(zext(b, 32), {b: Interval(3, 7)}) == Interval(3, 7)
+
+    def test_concat(self):
+        h, l = var("h", 8), var("l", 8)
+        doms = {h: Interval.of(0xAB), l: Interval(0, 255)}
+        assert interval_eval(concat(h, l), doms) == Interval(0xAB00, 0xABFF)
+
+
+_ALL_OPS = [
+    add,
+    sub,
+    mul,
+    udiv,
+    urem,
+    sdiv,
+    srem,
+    bvand,
+    bvor,
+    bvxor,
+    shl,
+    lshr,
+    ashr,
+]
+
+
+class TestForwardSoundness:
+    """The forward interval of an expression contains its concrete value for
+    every assignment drawn from the variable intervals — the property the
+    solver's completeness rests on."""
+
+    @settings(max_examples=400)
+    @given(
+        st.sampled_from(_ALL_OPS),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_binary_ops_sound(self, fn, alo, ahi, blo, bhi, aval, bval):
+        a = var("a8", 8)
+        b = var("b8", 8)
+        alo, ahi = min(alo, ahi), max(alo, ahi)
+        blo, bhi = min(blo, bhi), max(blo, bhi)
+        aval = alo + aval % (ahi - alo + 1)
+        bval = blo + bval % (bhi - blo + 1)
+        doms = {a: Interval(alo, ahi), b: Interval(blo, bhi)}
+        expr = fn(a, b)
+        itv = interval_eval(expr, doms)
+        concrete = evaluate(expr, {"a8": aval, "b8": bval})
+        assert concrete in itv
+
+    @settings(max_examples=200)
+    @given(
+        st.sampled_from([neg, bvnot]),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_unary_ops_sound(self, fn, lo, hi, val):
+        a = var("a8", 8)
+        lo, hi = min(lo, hi), max(lo, hi)
+        val = lo + val % (hi - lo + 1)
+        itv = interval_eval(fn(a), {a: Interval(lo, hi)})
+        assert evaluate(fn(a), {"a8": val}) in itv
+
+    @settings(max_examples=200)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_extend_extract_sound(self, lo, hi, val):
+        a = var("a8", 8)
+        lo, hi = min(lo, hi), max(lo, hi)
+        val = lo + val % (hi - lo + 1)
+        doms = {a: Interval(lo, hi)}
+        env = {"a8": val}
+        for expr in (
+            zext(a, 32),
+            sext(a, 32),
+            extract(a, 2, 4),
+            concat(a, bv(0x5, 4)),
+        ):
+            assert evaluate(expr, env) in interval_eval(expr, doms)

@@ -1,0 +1,144 @@
+"""Interval verdict functions and the strengthened signed narrowing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Interval,
+    bv,
+    bvxor,
+    cmp_verdict,
+    cond_verdict,
+    eq,
+    evaluate,
+    interval_eval,
+    ite,
+    neg,
+    signed_extrema,
+    sle,
+    slt,
+    to_signed,
+    var,
+)
+from repro.solver import Solver
+
+X = var("x")
+Y = var("y")
+
+
+class TestSignedExtrema:
+    def test_non_straddling_positive(self):
+        assert signed_extrema(Interval(3, 9), 8) == (3, 9)
+
+    def test_non_straddling_negative(self):
+        assert signed_extrema(Interval(0xF0, 0xFF), 8) == (-16, -1)
+
+    def test_straddling_covers_full_signed_range(self):
+        assert signed_extrema(Interval(0, 255), 8) == (-128, 127)
+        assert signed_extrema(Interval(100, 200), 8) == (-128, 127)
+
+    @settings(max_examples=200)
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_extrema_bound_all_members(self, lo, hi, value):
+        lo, hi = min(lo, hi), max(lo, hi)
+        value = lo + value % (hi - lo + 1)
+        smin, smax = signed_extrema(Interval(lo, hi), 8)
+        assert smin <= to_signed(value, 8) <= smax
+
+
+class TestCmpVerdict:
+    def test_decided_unsigned(self):
+        assert cmp_verdict("ult", Interval(0, 4), Interval(5, 9), 8) is True
+        assert cmp_verdict("ult", Interval(9, 12), Interval(0, 9), 8) is False
+        assert cmp_verdict("ult", Interval(0, 6), Interval(5, 9), 8) is None
+
+    def test_decided_signed_across_wrap(self):
+        negative = Interval(0x80, 0xFF)  # [-128, -1]
+        positive = Interval(0, 0x7F)
+        assert cmp_verdict("slt", negative, positive, 8) is True
+        assert cmp_verdict("sle", positive, negative, 8) is False
+
+    def test_eq_verdicts(self):
+        assert cmp_verdict("eq", Interval.of(5), Interval.of(5), 8) is True
+        assert cmp_verdict("eq", Interval(0, 3), Interval(4, 9), 8) is False
+        assert cmp_verdict("ne", Interval(0, 3), Interval(4, 9), 8) is True
+
+
+class TestCondVerdict:
+    def test_ite_condition_resolution_in_intervals(self):
+        # abs(x) with x provably negative: forward interval follows the
+        # then-branch only.
+        a = ite(slt(X, bv(0)), neg(X), X)
+        domains = {X: Interval(0xFFFFFFF0, 0xFFFFFFFF)}  # [-16, -1]
+        result = interval_eval(a, domains)
+        assert result == Interval(1, 16)
+
+    def test_undecided_condition_joins(self):
+        a = ite(slt(X, bv(0)), bv(1), bv(2))
+        assert interval_eval(a, {}) == Interval(1, 2)
+
+    def test_boolean_connectives(self):
+        from repro.expr import and_, or_
+
+        p = slt(X, bv(0))
+        domains = {X: Interval(0, 5)}
+        assert cond_verdict(p, domains) is False
+        assert cond_verdict(and_(p, eq(Y, bv(1))), domains) is False
+        assert cond_verdict(or_(p, eq(Y, bv(1))), domains) is None
+
+
+class TestAbsPattern:
+    """The queries that motivated the upgrade: decidable without blow-up."""
+
+    def test_abs_nonnegativity_proved(self):
+        a = ite(slt(X, bv(0)), neg(X), X)
+        solver = Solver(max_nodes=5_000)
+        assert not solver.is_satisfiable(
+            [eq(X, X), slt(a, bv(0)), _ne_intmin()]
+        )
+
+    def test_abs_intmin_is_the_only_counterexample(self):
+        a = ite(slt(X, bv(0)), neg(X), X)
+        solver = Solver(max_nodes=5_000)
+        model = solver.check([slt(a, bv(0))])
+        assert model is not None
+        assert model["x"] == 0x80000000
+
+
+class TestXorCanonicalization:
+    def test_chain_cancellation(self):
+        d = var("d")
+        assert bvxor(bvxor(X, d), bvxor(Y, d)) is bvxor(X, Y)
+
+    def test_constants_gather(self):
+        e = bvxor(bvxor(X, bv(0x0F)), bv(0xF0))
+        assert e is bvxor(X, bv(0xFF))
+
+    def test_full_cancellation_to_constant(self):
+        e = bvxor(bvxor(X, Y), bvxor(Y, X))
+        assert e is bv(0)
+
+    def test_order_insensitive(self):
+        assert bvxor(X, Y) is bvxor(Y, X)
+
+    @settings(max_examples=150)
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_canonicalization_preserves_semantics(self, a, b, c):
+        d = var("d")
+        expr = bvxor(bvxor(X, bv(c)), bvxor(bvxor(Y, d), bvxor(X, d)))
+        env = {"x": a, "y": b, "d": c}
+        assert evaluate(expr, env) == (b ^ c)
+
+
+def _ne_intmin():
+    from repro.expr import ne
+
+    return ne(X, bv(0x80000000))

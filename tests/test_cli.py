@@ -1,0 +1,59 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_line(self, capsys):
+        assert main(["run", "line:3", "--sim-seconds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Super DStates" in out
+        assert "line-3" in out
+
+    def test_run_algorithm_choice(self, capsys):
+        assert main(
+            ["run", "line:3", "--algorithm", "cob", "--sim-seconds", "2"]
+        ) == 0
+        assert "Copy On Branch" in capsys.readouterr().out
+
+    def test_run_flood(self, capsys):
+        assert main(["run", "flood:3", "--sim-seconds", "1"]) == 0
+        assert "flood-3" in capsys.readouterr().out
+
+    def test_bad_scenario_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run", "torus", "--sim-seconds", "1"])
+
+    def test_unknown_scenario_kind(self):
+        with pytest.raises(SystemExit):
+            main(["run", "torus:3", "--sim-seconds", "1"])
+
+
+class TestCompare:
+    def test_compare_prints_all_algorithms(self, capsys):
+        assert main(["compare", "line:3", "--sim-seconds", "2"]) == 0
+        out = capsys.readouterr().out
+        for label in ("Copy On Branch", "Copy On Write", "Super DStates"):
+            assert label in out
+
+
+class TestCompile:
+    def test_compile_and_disassemble(self, tmp_path, capsys):
+        source = tmp_path / "node.nsl"
+        source.write_text("var x; func on_boot() { x = node_id(); }")
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "func on_boot()" in out
+        assert "SYS" in out
+
+
+class TestTestcases:
+    def test_emits_testcases(self, capsys):
+        assert main(
+            ["testcases", "line:3", "--sim-seconds", "2", "--limit", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "testcase" in out
+        assert "drop" in out

@@ -1,0 +1,82 @@
+"""Instruction-coverage tracking across symbolic exploration."""
+
+from repro.lang import compile_source
+from repro.solver import Solver
+from repro.vm import Executor, coverage_report
+
+
+def run_and_report(source, entry="main", args=()):
+    program = compile_source(source)
+    executor = Executor(program, Solver())
+    state = executor.make_initial_state(0)
+    executor.run_event(state, entry, args)
+    return coverage_report(program, executor.visited_pcs), executor, program
+
+
+class TestCoverage:
+    def test_straight_line_is_fully_covered(self):
+        report, _, _ = run_and_report("var r; func main() { r = 1 + 2; }")
+        assert report.fraction == 1.0
+        assert report.uncovered_functions() == []
+
+    def test_untaken_branch_is_uncovered_concretely(self):
+        report, _, _ = run_and_report(
+            "var r; func main() { if (0) { r = 1; } else { r = 2; } }"
+        )
+        assert 0 < report.fraction < 1.0
+        main = next(f for f in report.functions if f.name == "main")
+        assert main.missed_lines  # the dead then-branch
+
+    def test_symbolic_execution_covers_both_branches(self):
+        report, _, _ = run_and_report(
+            """
+            var r;
+            func main() {
+                var x = symbolic("x");
+                if (x) { r = 1; } else { r = 2; }
+            }
+            """
+        )
+        assert report.fraction == 1.0
+
+    def test_uncalled_function_reported(self):
+        report, _, _ = run_and_report(
+            "func helper() { return 1; } func main() { }"
+        )
+        assert "helper" in report.uncovered_functions()
+        assert report.fraction < 1.0
+
+    def test_coverage_accumulates_across_events(self):
+        source = """
+        var r;
+        func main(which) {
+            if (which) { r = 1; } else { r = 2; }
+        }
+        """
+        program = compile_source(source)
+        executor = Executor(program, Solver())
+        for which in (0, 1):
+            state = executor.make_initial_state(0)
+            executor.run_event(state, "main", [which])
+        report = coverage_report(program, executor.visited_pcs)
+        assert report.fraction == 1.0
+
+    def test_render_contains_totals(self):
+        report, _, _ = run_and_report("func main() { }")
+        text = report.render()
+        assert "TOTAL" in text
+        assert "main" in text
+
+    def test_assume_prunes_coverage(self):
+        report, _, _ = run_and_report(
+            """
+            var r;
+            func main() {
+                var x = symbolic("x");
+                assume(x < 5);
+                if (x > 100) { r = 1; }   // unreachable under the assume
+                else { r = 2; }
+            }
+            """
+        )
+        assert report.fraction < 1.0

@@ -1,0 +1,63 @@
+"""Multi-flow grid scenarios (two sources converging on one sink)."""
+
+import pytest
+
+from repro import build_engine
+from repro.core import dscenario_fingerprints
+from repro.workloads import grid_scenario
+
+
+class TestMultiFlow:
+    def test_two_sources_deliver(self):
+        # 3x3 grid: default source 8 (corner) plus node 6 (other corner).
+        scenario = grid_scenario(3, sim_seconds=3, extra_sources=(6,))
+        scenario.failure_factory = tuple  # concrete run first
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        program = engine.program
+        (sink_state,) = engine.states_of_node(0)
+        delivered = sink_state.memory[program.global_address("delivered")]
+        # Two sources x 2 sends each.
+        assert delivered == 4
+
+    def test_sends_left_preset_for_both(self):
+        scenario = grid_scenario(3, sim_seconds=3, extra_sources=(6,))
+        assert set(scenario.preset_globals["sends_left"]) == {8, 6}
+
+    def test_drop_nodes_cover_both_paths(self):
+        single = grid_scenario(4, sim_seconds=3)
+        multi = grid_scenario(4, sim_seconds=3, extra_sources=(12,))
+        single_drops = set(single.failure_factory()[0].nodes)
+        multi_drops = set(multi.failure_factory()[0].nodes)
+        assert multi_drops >= single_drops - {12}
+
+    def test_equivalence_with_two_flows(self):
+        fingerprints = {}
+        states = {}
+        for algorithm in ("cob", "cow", "sds"):
+            engine = build_engine(
+                grid_scenario(3, sim_seconds=3, extra_sources=(6,)),
+                algorithm,
+                check_invariants=True,
+            )
+            report = engine.run()
+            assert not report.aborted
+            fingerprints[algorithm] = dscenario_fingerprints(
+                engine.mapper, engine.packets
+            )
+            states[algorithm] = report.total_states
+        assert (
+            fingerprints["cob"]
+            == fingerprints["cow"]
+            == fingerprints["sds"]
+        )
+        assert states["cob"] >= states["cow"] >= states["sds"]
+
+    def test_more_flows_more_states(self):
+        single = build_engine(grid_scenario(3, sim_seconds=3), "sds")
+        single_report = single.run()
+        multi = build_engine(
+            grid_scenario(3, sim_seconds=3, extra_sources=(6,)), "sds"
+        )
+        multi_report = multi.run()
+        assert multi_report.total_states > single_report.total_states

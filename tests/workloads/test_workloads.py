@@ -1,0 +1,168 @@
+"""Workload/scenario construction tests + end-to-end protocol behaviour."""
+
+import pytest
+
+from repro import build_engine, run_scenario
+from repro.lang import compile_source
+from repro.net import Packet
+from repro.oslib import HEADER_CELLS, KIND_COLLECT
+from repro.workloads import (
+    PAPER_SIZES,
+    branch_storm_program,
+    collect_program,
+    first_collect_packet,
+    flood_scenario,
+    grid_scenario,
+    line_scenario,
+    paper_grid_scenario,
+)
+
+
+class TestScenarioConstruction:
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == {25: 5, 49: 7, 100: 10}
+        for nodes in PAPER_SIZES:
+            scenario = paper_grid_scenario(nodes)
+            assert scenario.topology.node_count == nodes
+
+    def test_unknown_paper_size_rejected(self):
+        with pytest.raises(ValueError):
+            paper_grid_scenario(64)
+
+    def test_grid_presets(self):
+        scenario = grid_scenario(4, sim_seconds=5)
+        presets = scenario.preset_globals
+        assert presets["rime_sink"] == 0
+        assert presets["rime_source"] == 15
+        assert presets["sends_left"] == {15: 4}
+        # next hops point from source toward sink
+        assert presets["rime_next_hop"][15] in (11, 14)
+
+    def test_grid_program_compiles(self):
+        program = compile_source(collect_program())
+        for handler in ("on_boot", "on_timer", "on_recv"):
+            assert program.has_handler(handler)
+
+    def test_line_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            line_scenario(1)
+
+    def test_flood_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            flood_scenario(1)
+
+    def test_branch_storm_depth(self):
+        source = branch_storm_program(3)
+        assert source.count("symbolic(") == 3
+        with pytest.raises(ValueError):
+            branch_storm_program(0)
+
+
+class TestFirstPacketFilter:
+    def _packet(self, kind, seq):
+        payload = [0] * HEADER_CELLS
+        payload[0] = kind
+        payload[3] = seq
+        return Packet(1, 0, tuple(payload), 0)
+
+    def test_matches_first_collect_packet(self):
+        assert first_collect_packet(self._packet(KIND_COLLECT, 0))
+
+    def test_rejects_later_sequences(self):
+        assert not first_collect_packet(self._packet(KIND_COLLECT, 1))
+
+    def test_rejects_other_kinds(self):
+        assert not first_collect_packet(self._packet(7, 0))
+
+    def test_rejects_short_payload(self):
+        assert not first_collect_packet(Packet(1, 0, (KIND_COLLECT,), 0))
+
+    def test_symbolic_cells_never_match(self):
+        from repro.expr import var
+
+        payload = [KIND_COLLECT, 0, 0, var("s", 32), 0]
+        assert not first_collect_packet(Packet(1, 0, tuple(payload), 0))
+
+
+class TestCollectProtocolEndToEnd:
+    """The Rime-like collect stack actually delivers data multi-hop."""
+
+    def test_no_failures_full_delivery(self):
+        scenario = line_scenario(4, sim_seconds=4, drop_nodes=())
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        program = engine.program
+        sink = 3
+        (sink_state,) = engine.states_of_node(sink)
+        delivered = sink_state.memory[program.global_address("delivered")]
+        # 3 sends over 4 simulated seconds, all delivered.
+        assert delivered == 3
+
+    def test_hop_counter_increments(self):
+        scenario = line_scenario(4, sim_seconds=2, drop_nodes=())
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        # Inspect the final delivery packet: hops == path length - 1 legs
+        # forwarded (source leg has hops 0, each relay +1).
+        collect_packets = [
+            p
+            for p in engine.packets.values()
+            if len(p.payload) >= HEADER_CELLS
+            and p.payload[0] == KIND_COLLECT
+            and p.dest == 3
+        ]
+        assert collect_packets
+        assert max(p.payload[4] for p in collect_packets) == 2
+
+    def test_drop_reduces_delivery(self):
+        scenario = line_scenario(3, sim_seconds=3, drop_nodes=[1])
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        program = engine.program
+        delivered = {
+            s.memory[program.global_address("delivered")]
+            for s in engine.states_of_node(2)
+        }
+        # One world lost the first packet at the relay, one got everything.
+        assert delivered == {1, 2}
+
+    def test_forward_counters_on_path(self):
+        scenario = grid_scenario(3, sim_seconds=2, drop_budget=0)
+        scenario.failure_factory = tuple  # no failures at all
+        engine = build_engine(scenario, "sds")
+        report = engine.run()
+        assert report.total_states == 9  # one state per node, no forks
+        program = engine.program
+        forwarded_total = sum(
+            s.memory[program.global_address("forwarded")]
+            for s in engine.states.values()
+        )
+        # 1 packet, route 8->...->0 has 3 intermediate hops in a 3x3 grid.
+        route = engine.topology.route(8, 0)
+        assert forwarded_total == len(route) - 2
+
+    def test_flood_everyone_hears(self):
+        scenario = flood_scenario(3, rounds=1, drop_nodes=())
+        engine = build_engine(scenario, "sds")
+        engine.run()
+        program = engine.program
+        heard = [
+            s.memory[program.global_address("heard")]
+            for s in engine.states.values()
+        ]
+        assert heard == [2, 2, 2]  # each node hears the other two
+
+
+class TestScenarioReuse:
+    def test_scenario_compiles_once(self):
+        scenario = line_scenario(3)
+        first = scenario.compiled()
+        second = scenario.compiled()
+        assert first is second
+
+    def test_runs_are_independent(self):
+        scenario_factory = lambda: line_scenario(3, sim_seconds=2)
+        a = run_scenario(scenario_factory(), "sds")
+        b = run_scenario(scenario_factory(), "sds")
+        assert a.total_states == b.total_states
+        assert a.group_count == b.group_count
