@@ -75,6 +75,7 @@ class TestSolverCacheAblation:
         assert hits > 0, "cache never hit on an SDE run"
         benchmark.extra_info["cache_hits"] = hits
         benchmark.extra_info["cache_misses"] = stats["misses"]
+        benchmark.extra_info["model_scan_steps"] = stats["model_scan_steps"]
         benchmark.extra_info["cached_s"] = round(cached_time, 3)
         benchmark.extra_info["uncached_s"] = round(uncached_time, 3)
 

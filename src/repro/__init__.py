@@ -35,6 +35,8 @@ from .core import (  # noqa: F401,E402
     ALGORITHMS,
     COBMapper,
     COWMapper,
+    ParallelReport,
+    ParallelRunner,
     RunReport,
     Scenario,
     SDEEngine,
@@ -51,6 +53,8 @@ __all__ = [
     "ALGORITHMS",
     "COBMapper",
     "COWMapper",
+    "ParallelReport",
+    "ParallelRunner",
     "SDSMapper",
     "StateMapper",
     "SDEEngine",

@@ -44,19 +44,41 @@ def _parse_scenario(spec: str, sim_seconds: int) -> Scenario:
     raise SystemExit(f"unknown scenario kind {kind!r}")
 
 
+def _run_report(scenario, algorithm, args, **caps):
+    """One run — parallel when ``--workers`` was given, sequential otherwise."""
+    if args.workers is not None:
+        from .core.parallel import ParallelRunner
+
+        return ParallelRunner(
+            scenario,
+            algorithm,
+            workers=args.workers,
+            split_ms=args.split_ms,
+            **caps,
+        ).run()
+    engine = build_engine(scenario, algorithm, **caps)
+    return engine.run()
+
+
 def _cmd_run(args) -> int:
     scenario = _parse_scenario(args.scenario, args.sim_seconds)
-    engine = build_engine(
+    report = _run_report(
         scenario,
         args.algorithm,
+        args,
         max_states=args.max_states,
         max_wall_seconds=args.max_wall_seconds,
     )
-    report = engine.run()
     row = BenchRow(scenario.name, report)
     print(render_table1([row], f"{scenario.name} under {args.algorithm}"))
     print(f"\nevents={row.events} instructions={row.instructions}"
           f" error-states={row.error_states}")
+    if args.workers is not None:
+        print(
+            f"workers={args.workers} partitions={report.partition_count}"
+            f" prefix-events={report.prefix_events}"
+            f" projected-speedup=x{report.projected:.2f}"
+        )
     if row.aborted:
         print(f"ABORTED: {row.abort_reason}")
     if args.json:
@@ -77,8 +99,13 @@ def _cmd_compare(args) -> int:
                 max_states=args.max_states or 500_000,
                 max_wall_seconds=args.max_wall_seconds or 120.0,
             )
-        rows.append(run_one(scenario, algorithm, **caps))
-    print(render_table1(rows, f"{args.scenario} — algorithm comparison"))
+        if args.workers is not None:
+            report = _run_report(scenario, algorithm, args, **caps)
+            rows.append(BenchRow(scenario.name, report))
+        else:
+            rows.append(run_one(scenario, algorithm, **caps))
+    suffix = f" ({args.workers} workers)" if args.workers is not None else ""
+    print(render_table1(rows, f"{args.scenario} — algorithm comparison{suffix}"))
     return 0
 
 
@@ -136,6 +163,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument(
         "--json", default=None, help="write the full report as JSON"
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run independent dstate partitions on N worker processes",
+    )
+    run_parser.add_argument(
+        "--split-ms",
+        type=int,
+        default=None,
+        help="virtual-time split point for --workers (default: 30%% of horizon)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     compare_parser = sub.add_parser(
@@ -145,6 +184,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare_parser.add_argument("--sim-seconds", type=int, default=10)
     compare_parser.add_argument("--max-states", type=int, default=None)
     compare_parser.add_argument("--max-wall-seconds", type=float, default=None)
+    compare_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run independent dstate partitions on N worker processes",
+    )
+    compare_parser.add_argument(
+        "--split-ms",
+        type=int,
+        default=None,
+        help="virtual-time split point for --workers (default: 30%% of horizon)",
+    )
     compare_parser.set_defaults(handler=_cmd_compare)
 
     table1_parser = sub.add_parser("table1", help="regenerate Table I")

@@ -8,7 +8,8 @@
 - :mod:`repro.core.explode` — dscenario explosion + equivalence oracle
 - :mod:`repro.core.testcase` — concrete test-case generation
 - :mod:`repro.core.complexity` — Section III-E's analytic bounds
-- :mod:`repro.core.partition` — parallelization analysis (future work)
+- :mod:`repro.core.partition` — partition analysis (independent dstate sets)
+- :mod:`repro.core.parallel` — multi-process execution of those partitions
 - :mod:`repro.core.scenario` — the public Scenario/run API
 """
 
@@ -36,8 +37,13 @@ from .optimize import (  # noqa: F401
     OptimizationReport,
     analyze_equal_packets,
 )
+from .parallel import (  # noqa: F401
+    ParallelReport,
+    ParallelRunner,
+)
 from .partition import (  # noqa: F401
     Partition,
+    lpt_assign,
     partition_groups,
     projected_speedup,
     schedule_makespan,

@@ -25,6 +25,12 @@ from .mapping import MappingError, StateMapper
 __all__ = ["COBMapper", "DScenario"]
 
 
+def _ensure_counter_above(cls, minimum: int) -> None:
+    """Advance a class-level ``_ids`` counter past ``minimum`` (restore)."""
+    if next(cls._ids) <= minimum:
+        cls._ids = itertools.count(minimum + 1)
+
+
 class DScenario:
     """One complete distributed scenario: exactly one state per node."""
 
@@ -100,6 +106,28 @@ class COBMapper(StateMapper):
         if receiver is None:
             raise MappingError(f"dscenario has no state for node {dest_node}")
         return [receiver]
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot_groups(self, group_indices):
+        """The selected dscenarios themselves — they pickle as-is."""
+        return [self._dscenarios[index] for index in group_indices]
+
+    def restore_groups(self, payload) -> None:
+        if self._dscenarios:
+            raise MappingError("restore_groups on a non-empty mapper")
+        max_id = 0
+        max_sid = 0
+        for scenario in payload:
+            self._dscenarios.append(scenario)
+            max_id = max(max_id, scenario.id)
+            for state in scenario.members.values():
+                self._owner[state.sid] = scenario
+                max_sid = max(max_sid, state.sid)
+        _ensure_counter_above(DScenario, max_id)
+        from ..vm.state import ensure_state_ids_above
+
+        ensure_state_ids_above(max_sid)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -19,6 +19,7 @@ import itertools
 from typing import Dict, Iterable, List, Sequence
 
 from ..vm.state import ExecutionState
+from .cob import _ensure_counter_above
 from .mapping import MappingError, StateMapper
 
 __all__ = ["COWMapper", "DState"]
@@ -128,6 +129,29 @@ class COWMapper(StateMapper):
             for state in states:
                 self._owner[state.sid] = new_dstate
         return receivers
+
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def snapshot_groups(self, group_indices):
+        """The selected dstates themselves — they pickle as-is."""
+        return [self._dstates[index] for index in group_indices]
+
+    def restore_groups(self, payload) -> None:
+        if self._dstates:
+            raise MappingError("restore_groups on a non-empty mapper")
+        max_id = 0
+        max_sid = 0
+        for dstate in payload:
+            self._dstates.append(dstate)
+            max_id = max(max_id, dstate.id)
+            for states in dstate.members.values():
+                for state in states:
+                    self._owner[state.sid] = dstate
+                    max_sid = max(max_sid, state.sid)
+        _ensure_counter_above(DState, max_id)
+        from ..vm.state import ensure_state_ids_above
+
+        ensure_state_ids_above(max_sid)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -237,12 +237,34 @@ class SDEEngine:
     # -- the main loop ------------------------------------------------------------------
 
     def run(self) -> RunReport:
+        self.run_until()
+        self._sample_and_check_caps(force=True)
+        return RunReport(self)
+
+    def run_until(
+        self,
+        split_ms: Optional[int] = None,
+        split_events: Optional[int] = None,
+    ) -> None:
+        """Drive the event loop, optionally stopping at a split point.
+
+        With ``split_ms`` set, no event scheduled after that virtual time is
+        consumed — the pending entries stay queued, so the run can be
+        snapshotted (:meth:`scheduler_snapshot`) and resumed elsewhere.
+        ``split_events`` bounds the number of events executed the same way.
+        With neither bound this is the complete run loop.
+        """
         if not self._started:
             self.setup()
         while True:
-            entry = self.scheduler.pop(self._entry_valid)
+            if (
+                split_events is not None
+                and self.events_executed >= split_events
+            ):
+                break  # event-count split point reached
+            entry = self.scheduler.pop(self._entry_valid, max_time=split_ms)
             if entry is None:
-                break  # no runnable state left
+                break  # no runnable state left (or virtual-time split hit)
             event_time, sid = entry
             if self.clock.expired(event_time):
                 break  # simulation horizon reached
@@ -258,8 +280,24 @@ class SDEEngine:
                 self.mapper.check_invariants()
             if self.aborted:
                 break
-        self._sample_and_check_caps(force=True)
-        return RunReport(self)
+
+    def scheduler_snapshot(self) -> List[Tuple[int, int]]:
+        """Pending work as ``(time, sid)`` pairs in deterministic pop order.
+
+        Exactly one entry per runnable state — the first *valid* heap entry,
+        in heap order — so re-pushing the pairs into a fresh
+        :class:`EventQueue` reproduces this engine's scheduling order (ties
+        at equal times pop in the captured sequence).
+        """
+        out: List[Tuple[int, int]] = []
+        seen = set()
+        for event_time, _, sid in self.scheduler.entries():
+            if sid in seen:
+                continue
+            if self._entry_valid(event_time, sid):
+                seen.add(sid)
+                out.append((event_time, sid))
+        return out
 
     def _entry_valid(self, event_time: int, sid: int) -> bool:
         state = self.states.get(sid)

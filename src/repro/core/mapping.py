@@ -107,6 +107,28 @@ class StateMapper:
         """Number of dscenarios (COB) / dstates (COW, SDS)."""
         raise NotImplementedError
 
+    # -- snapshot / restore (parallel execution) ----------------------------------------
+
+    def snapshot_groups(self, group_indices: Sequence[int]):
+        """A picklable payload carrying the selected groups.
+
+        ``group_indices`` index into :meth:`groups` order and must be closed
+        under state sharing (a :class:`repro.core.partition.Partition`), so
+        the payload is self-contained: every state referenced by a selected
+        group has all of its group memberships inside the selection.
+        """
+        raise NotImplementedError
+
+    def restore_groups(self, payload) -> None:
+        """Install a :meth:`snapshot_groups` payload into this fresh mapper.
+
+        Must only be called on an empty mapper (worker-process side).
+        Implementations rebuild their indexes and advance any id counters
+        past the ids present in the payload so locally created groups never
+        collide with restored ones.
+        """
+        raise NotImplementedError
+
     def groups(self) -> Iterable[Dict[int, List[ExecutionState]]]:
         """Each group as a node -> states mapping (states, not virtuals)."""
         raise NotImplementedError

@@ -1,0 +1,501 @@
+"""Parallel SDE: execute independent dstate partitions on worker processes.
+
+The paper names this as the key next step (Section VI): "we have to
+identify the sets of states which can be safely offloaded on other cores
+and thus can be independently executed."  :mod:`repro.core.partition`
+identifies those sets — connected components of the dstate/state sharing
+graph; this module actually executes them in parallel:
+
+1. run the scenario **sequentially up to a split point** (virtual time or
+   event count) so the scenario's communication structure has formed;
+2. compute :func:`~repro.core.partition.partition_groups` and assign the
+   partitions to worker processes with
+   :func:`~repro.core.partition.lpt_assign`;
+3. ship each worker a **picklable engine snapshot** of its partitions —
+   the mapper payload (``snapshot_groups``), the scheduler order, and the
+   id-counter watermarks.  Interned expression nodes re-enter the worker's
+   interning table via their ``__reduce__`` hooks, and every worker builds
+   its own :class:`~repro.solver.Solver` (and cache);
+4. **merge** the per-worker run reports into one
+   :class:`ParallelReport` whose totals are deterministic and independent
+   of the worker count.
+
+Why the merge is exact: partitions are disjoint in execution states and
+cover all of them, transmissions only ever map within the sender's
+dstates, and each state executes the identical event sequence no matter
+which process hosts it (the scheduler snapshot preserves the sequential
+pop order, and solver verdicts are solver-instance independent).  So
+state counts, the state census, error states, group counts and mapping
+stats all sum to exactly the sequential run's values.  Solver *query*
+totals also sum exactly (queries are counted per ``check`` call, cache
+hit or not); only cache hit/miss ratios shift with the partitioning.
+
+``workers=1`` exercises the same snapshot → pickle → restore path
+in-process, which is what the equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import time as _time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.packet import ensure_packet_ids_above, packet_id_watermark
+from ..solver import Solver
+from ..vm.state import ExecutionState, ensure_state_ids_above, state_id_watermark
+from .engine import RunReport, SDEEngine
+from .partition import Partition, lpt_assign, partition_groups, projected_speedup
+from .stats import (
+    PROGRAM_IMAGE_COST_PER_INSTRUCTION,
+    Sample,
+    process_rss_bytes,
+)
+
+__all__ = ["ParallelRunner", "ParallelReport", "WorkerResult", "WorkerTask"]
+
+
+class WorkerTask:
+    """Everything one worker needs to resume its partitions — picklable."""
+
+    __slots__ = (
+        "index",
+        "algorithm",
+        "program",
+        "topology",
+        "horizon_ms",
+        "failure_models",
+        "preset_globals",
+        "latency_ms",
+        "boot_times",
+        "max_states",
+        "max_accounted_bytes",
+        "max_wall_seconds",
+        "sample_every_events",
+        "max_steps_per_event",
+        "mapper_payload",
+        "scheduler_entries",
+        "clock_now",
+        "state_watermark",
+        "packet_watermark",
+        "broadcast_watermark",
+    )
+
+    def __init__(self, **fields) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, fields.pop(slot))
+        if fields:
+            raise TypeError(f"unknown WorkerTask fields {sorted(fields)}")
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class WorkerResult:
+    """One worker's contribution to the merged report — picklable."""
+
+    __slots__ = (
+        "index",
+        "runtime_seconds",
+        "virtual_ms",
+        "events_executed",
+        "instructions",
+        "total_states",
+        "active_states",
+        "error_states",
+        "group_count",
+        "mapping_stats",
+        "solver_queries",
+        "accounted_bytes",
+        "census",
+        "aborted",
+        "abort_reason",
+    )
+
+    def __init__(self, task: WorkerTask, report: RunReport, census: Dict[int, int]):
+        self.index = task.index
+        self.runtime_seconds = report.runtime_seconds
+        self.virtual_ms = report.virtual_ms
+        self.events_executed = report.events_executed
+        self.instructions = report.instructions
+        self.total_states = report.total_states
+        self.active_states = report.active_states
+        self.error_states = list(report.error_states)
+        self.group_count = report.group_count
+        self.mapping_stats = dict(report.mapping_stats)
+        self.solver_queries = report.solver_queries
+        self.accounted_bytes = report.accounted_bytes
+        self.census = dict(census)
+        self.aborted = report.aborted
+        self.abort_reason = report.abort_reason
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+def restore_worker_engine(task: WorkerTask) -> SDEEngine:
+    """Build a fresh engine hosting the task's partitions, mid-run.
+
+    The engine gets its own solver and a fresh mapper of the run's
+    algorithm; the mapper payload re-installs the shipped dstates and the
+    scheduler is re-seeded with the captured ``(time, sid)`` entries in
+    their sequential pop order.  Id counters are advanced past the parent
+    run's watermarks so locally created states/packets never collide with
+    shipped ones.
+    """
+    from .scenario import make_mapper
+
+    mapper = make_mapper(task.algorithm)
+    engine = SDEEngine(
+        program=task.program,
+        topology=task.topology,
+        mapper=mapper,
+        horizon_ms=task.horizon_ms,
+        failure_models=task.failure_models,
+        preset_globals=task.preset_globals,
+        latency_ms=task.latency_ms,
+        solver=Solver(),
+        boot_times=task.boot_times,
+        max_states=task.max_states,
+        max_accounted_bytes=task.max_accounted_bytes,
+        max_wall_seconds=task.max_wall_seconds,
+        sample_every_events=task.sample_every_events,
+        max_steps_per_event=task.max_steps_per_event,
+    )
+    engine._started = True  # resuming: the boot states already exist
+    mapper.restore_groups(task.mapper_payload)
+    for group in mapper.groups():
+        for states in group.values():
+            for state in states:
+                engine.states[state.sid] = state
+    engine.clock.advance_to(task.clock_now)
+    for event_time, sid in task.scheduler_entries:
+        engine.scheduler.push(event_time, sid)
+    ensure_state_ids_above(task.state_watermark)
+    ensure_packet_ids_above(task.packet_watermark)
+    engine._broadcast_ids = itertools.count(task.broadcast_watermark + 1)
+    return engine
+
+
+def execute_task_bytes(payload: bytes) -> WorkerResult:
+    """Unpickle a :class:`WorkerTask`, run it to completion, summarize.
+
+    Module-level (not a method) so multiprocessing's spawn start method
+    can import it; the in-process ``workers=1`` path calls it directly
+    with the same pickled payload, keeping both paths byte-identical.
+    """
+    task: WorkerTask = pickle.loads(payload)
+    engine = restore_worker_engine(task)
+    report = engine.run()
+    return WorkerResult(task, report, engine.state_census())
+
+
+def _worker_entry(payload: bytes, queue) -> None:  # pragma: no cover - subprocess
+    try:
+        queue.put(pickle.dumps(execute_task_bytes(payload)))
+    except BaseException as exc:
+        import traceback
+
+        queue.put(pickle.dumps(RuntimeError(
+            f"parallel worker failed: {exc}\n{traceback.format_exc()}"
+        )))
+
+
+class ParallelReport:
+    """Merged report of a parallel run; duck-types :class:`RunReport`.
+
+    All `RunReport` consumers (``BenchRow``, ``render_table1``,
+    ``report_to_dict``/``save_report``) work unchanged on instances of
+    this class.  The parallel-only extras are ``workers``,
+    ``worker_results``, ``prefix_events``, ``split_ms``/``split_events``,
+    ``partition_count`` and ``projected`` (the LPT-projected speedup).
+    """
+
+    def __init__(
+        self,
+        prefix: RunReport,
+        prefix_census: Dict[int, int],
+        worker_results: List[WorkerResult],
+        image_cost: int,
+        partitions: List[Partition],
+        workers: int,
+        split_ms: Optional[int],
+        split_events: Optional[int],
+        runtime_seconds: float,
+    ) -> None:
+        self.algorithm = prefix.algorithm
+        self.workers = workers
+        self.worker_results = list(worker_results)
+        self.prefix_events = prefix.events_executed
+        self.split_ms = split_ms
+        self.split_events = split_events
+        self.partition_count = len(partitions)
+        self.projected = (
+            projected_speedup(partitions, workers) if partitions else 1.0
+        )
+        self.runtime_seconds = runtime_seconds
+
+        results = self.worker_results
+        self.aborted = prefix.aborted or any(w.aborted for w in results)
+        self.abort_reason = prefix.abort_reason or next(
+            (w.abort_reason for w in results if w.abort_reason), ""
+        )
+        if results:
+            # Every prefix state was shipped to exactly one worker, so the
+            # workers' final totals sum to the sequential run's totals.
+            self.virtual_ms = max(w.virtual_ms for w in results)
+            self.total_states = sum(w.total_states for w in results)
+            self.active_states = sum(w.active_states for w in results)
+            self.group_count = sum(w.group_count for w in results)
+            self.error_states = [
+                state for w in results for state in w.error_states
+            ]
+            # Each worker's accounting re-charges the shared program image;
+            # count it once, like the sequential run does.
+            self.accounted_bytes = image_cost + sum(
+                w.accounted_bytes - image_cost for w in results
+            )
+            self.census = {node: 0 for node in prefix_census}
+            for worker in results:
+                for node, count in worker.census.items():
+                    self.census[node] = self.census.get(node, 0) + count
+        else:
+            # Degenerate: the run finished before the split point.
+            self.virtual_ms = prefix.virtual_ms
+            self.total_states = prefix.total_states
+            self.active_states = prefix.active_states
+            self.group_count = prefix.group_count
+            self.error_states = list(prefix.error_states)
+            self.accounted_bytes = prefix.accounted_bytes
+            self.census = dict(prefix_census)
+        self.events_executed = prefix.events_executed + sum(
+            w.events_executed for w in results
+        )
+        self.instructions = prefix.instructions + sum(
+            w.instructions for w in results
+        )
+        self.solver_queries = prefix.solver_queries + sum(
+            w.solver_queries for w in results
+        )
+        self.mapping_stats = dict(prefix.mapping_stats)
+        for worker in results:
+            for key, value in worker.mapping_stats.items():
+                self.mapping_stats[key] = self.mapping_stats.get(key, 0) + value
+
+        self.samples: List[Sample] = list(prefix.samples)
+        self.samples.append(
+            Sample(
+                wall_seconds=runtime_seconds,
+                virtual_ms=self.virtual_ms,
+                events_executed=self.events_executed,
+                live_states=self.active_states,
+                total_states=self.total_states,
+                accounted_bytes=self.accounted_bytes,
+                rss_bytes=process_rss_bytes(),
+                groups=self.group_count,
+            )
+        )
+
+    # -- RunReport duck-typing ------------------------------------------------
+
+    def peak_states(self) -> int:
+        return max((s.total_states for s in self.samples), default=self.total_states)
+
+    def peak_accounted_bytes(self) -> int:
+        return max((s.accounted_bytes for s in self.samples), default=0)
+
+    def state_census(self) -> Dict[int, int]:
+        return dict(self.census)
+
+    def summary(self) -> str:
+        status = "ABORTED" if self.aborted else "completed"
+        split = (
+            f"{self.split_ms} ms"
+            if self.split_ms is not None
+            else f"{self.split_events} events"
+        )
+        lines = [
+            f"[{self.algorithm}] {status} after {self.runtime_seconds:.2f}s"
+            f" on {self.workers} workers"
+            + (f" ({self.abort_reason})" if self.aborted else ""),
+            f"  split point      : {split}"
+            f" ({self.prefix_events} prefix events)",
+            f"  partitions       : {self.partition_count}"
+            f" (projected speedup x{self.projected:.2f})",
+            f"  virtual time     : {self.virtual_ms} ms",
+            f"  events executed  : {self.events_executed}",
+            f"  instructions     : {self.instructions}",
+            f"  states (total)   : {self.total_states}",
+            f"  dscenarios/dstates: {self.group_count}",
+            f"  accounted memory : {self.accounted_bytes / 1e6:.2f} MB",
+            f"  error states     : {len(self.error_states)}",
+            f"  solver queries   : {self.solver_queries}",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelReport({self.algorithm}, workers={self.workers},"
+            f" states={self.total_states}, groups={self.group_count},"
+            f" aborted={self.aborted})"
+        )
+
+
+class ParallelRunner:
+    """Run one scenario with the split/partition/ship/merge pipeline."""
+
+    def __init__(
+        self,
+        scenario,
+        algorithm: str = "sds",
+        workers: int = 2,
+        split_ms: Optional[int] = None,
+        split_events: Optional[int] = None,
+        start_method: Optional[str] = None,
+        **engine_overrides,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.scenario = scenario
+        self.algorithm = algorithm
+        self.workers = workers
+        # Default split: 30% of the horizon — late enough that the scenario's
+        # partition structure has formed, early enough that the sequential
+        # prefix stays a small Amdahl term.
+        if split_ms is None and split_events is None:
+            split_ms = scenario.horizon_ms * 3 // 10
+        self.split_ms = split_ms
+        self.split_events = split_events
+        self.start_method = start_method
+        self.engine_overrides = engine_overrides
+
+    def run(self) -> ParallelReport:
+        from .scenario import build_engine
+
+        started = _time.perf_counter()
+        engine = build_engine(
+            self.scenario, self.algorithm, **self.engine_overrides
+        )
+        engine.run_until(split_ms=self.split_ms, split_events=self.split_events)
+        engine._sample_and_check_caps(force=True)
+        prefix = RunReport(engine)
+        prefix_census = engine.state_census()
+
+        tasks = [] if engine.aborted else self._build_tasks(engine)
+        partitions = self._partitions if tasks else []
+        if tasks:
+            results = self._execute(tasks)
+            results.sort(key=lambda w: w.index)
+        else:
+            results = []
+        return ParallelReport(
+            prefix=prefix,
+            prefix_census=prefix_census,
+            worker_results=results,
+            image_cost=(
+                PROGRAM_IMAGE_COST_PER_INSTRUCTION * len(engine.program.code)
+            ),
+            partitions=partitions,
+            workers=self.workers,
+            split_ms=self.split_ms,
+            split_events=self.split_events,
+            runtime_seconds=_time.perf_counter() - started,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _build_tasks(self, engine: SDEEngine) -> List[WorkerTask]:
+        scheduler_entries = engine.scheduler_snapshot()
+        if not scheduler_entries:
+            self._partitions = []
+            return []  # the run already completed before the split point
+        self._partitions = partition_groups(engine.mapper)
+        assignment = lpt_assign(self._partitions, self.workers)
+        state_watermark = state_id_watermark()
+        packet_watermark = packet_id_watermark()
+        broadcast_watermark = next(engine._broadcast_ids)
+
+        tasks: List[WorkerTask] = []
+        for index, core_partitions in enumerate(assignment):
+            if not core_partitions:
+                continue  # fewer partitions than workers
+            group_indices = [
+                group_index
+                for partition in core_partitions
+                for group_index in partition.group_indices
+            ]
+            sids = set()
+            for partition in core_partitions:
+                sids.update(partition.state_sids)
+            tasks.append(
+                WorkerTask(
+                    index=index,
+                    algorithm=engine.mapper.name,
+                    program=engine.program,
+                    topology=engine.topology,
+                    horizon_ms=engine.clock.horizon,
+                    failure_models=engine.failure_models,
+                    preset_globals=engine.preset_globals,
+                    latency_ms=engine.medium.latency_ms,
+                    boot_times=engine.boot_times,
+                    max_states=engine.max_states,
+                    max_accounted_bytes=engine.max_accounted_bytes,
+                    max_wall_seconds=engine.max_wall_seconds,
+                    sample_every_events=engine.stats._sample_every,
+                    max_steps_per_event=engine.executor.max_steps_per_event,
+                    mapper_payload=engine.mapper.snapshot_groups(group_indices),
+                    scheduler_entries=[
+                        entry for entry in scheduler_entries if entry[1] in sids
+                    ],
+                    clock_now=engine.clock.now,
+                    state_watermark=state_watermark,
+                    packet_watermark=packet_watermark,
+                    broadcast_watermark=broadcast_watermark,
+                )
+            )
+        return tasks
+
+    def _execute(self, tasks: List[WorkerTask]) -> List[WorkerResult]:
+        payloads = [pickle.dumps(task) for task in tasks]
+        if self.workers == 1 or len(payloads) == 1:
+            # Same pickle round-trip, current process: identical semantics,
+            # no fork/spawn overhead.
+            return [execute_task_bytes(payload) for payload in payloads]
+
+        import multiprocessing
+
+        if self.start_method is not None:
+            context = multiprocessing.get_context(self.start_method)
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context("spawn")
+        queue = context.Queue()
+        processes = [
+            context.Process(target=_worker_entry, args=(payload, queue))
+            for payload in payloads
+        ]
+        for process in processes:
+            process.start()
+        results: List[WorkerResult] = []
+        failure: Optional[BaseException] = None
+        for _ in processes:
+            outcome = pickle.loads(queue.get())
+            if isinstance(outcome, BaseException):
+                failure = failure or outcome
+            else:
+                results.append(outcome)
+        for process in processes:
+            process.join()
+        if failure is not None:
+            raise failure
+        return results

@@ -29,6 +29,7 @@ from .mapping import StateMapper
 
 __all__ = [
     "Partition",
+    "lpt_assign",
     "partition_groups",
     "projected_speedup",
     "schedule_makespan",
@@ -108,21 +109,44 @@ def speedup_bound(partitions: List[Partition]) -> float:
     return total / largest if largest else 1.0
 
 
-def schedule_makespan(partitions: List[Partition], cores: int) -> int:
-    """LPT makespan of the partitions on ``cores`` cores.
+def lpt_assign(partitions: List[Partition], cores: int) -> List[List[Partition]]:
+    """LPT assignment of partitions to ``cores`` cores.
 
     Work is approximated by partition state count (states execute
     proportionally many events).  Longest-Processing-Time-first is the
-    classic 4/3-approximation; it answers the practical question behind the
-    paper's future work: *given this run's partitions, how long would P
-    cores take?*
+    classic 4/3-approximation.  Returns the actual per-core assignment —
+    ``result[c]`` lists the partitions core ``c`` executes — which is what
+    :class:`repro.core.parallel.ParallelRunner` ships to worker processes.
+    The assignment is deterministic: ties in both partition weight and core
+    load break by original partition order / lowest core index.
     """
     if cores < 1:
         raise ValueError("need at least one core")
+    assignment: List[List[Partition]] = [[] for _ in range(cores)]
     loads = [0] * cores
-    for partition in sorted(partitions, key=Partition.state_count, reverse=True):
-        laziest = min(range(cores), key=loads.__getitem__)
-        loads[laziest] += partition.state_count()
+    order = sorted(
+        range(len(partitions)),
+        key=lambda i: (-partitions[i].state_count(), i),
+    )
+    for index in order:
+        laziest = min(range(cores), key=lambda c: (loads[c], c))
+        assignment[laziest].append(partitions[index])
+        loads[laziest] += partitions[index].state_count()
+    return assignment
+
+
+def schedule_makespan(partitions: List[Partition], cores: int) -> int:
+    """LPT makespan of the partitions on ``cores`` cores.
+
+    The makespan of :func:`lpt_assign`'s schedule; it answers the practical
+    question behind the paper's future work: *given this run's partitions,
+    how long would P cores take?*
+    """
+    assignment = lpt_assign(partitions, cores)
+    loads = [
+        sum(partition.state_count() for partition in core)
+        for core in assignment
+    ]
     return max(loads) if loads else 0
 
 

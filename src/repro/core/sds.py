@@ -36,6 +36,7 @@ import itertools
 from typing import Dict, Iterable, List, Sequence, Set
 
 from ..vm.state import ExecutionState
+from .cob import _ensure_counter_above
 from .mapping import MappingError, StateMapper
 
 __all__ = ["SDSMapper", "VirtualState", "VDState"]
@@ -219,6 +220,52 @@ class SDSMapper(StateMapper):
                     self._virtuals.setdefault(twin.sid, []).append(vt)
 
         return targets
+
+    # -- snapshot / restore --------------------------------------------------------
+
+    def snapshot_groups(self, group_indices):
+        """Selected dstates plus each member state's *ordered* virtual list.
+
+        The order of ``self._virtuals[sid]`` drives map_transmission's
+        iteration, so it must survive the round-trip verbatim — it cannot be
+        rebuilt from dstate membership.  Because partitions are closed under
+        state sharing, every virtual of every state appearing in the
+        selected dstates lies inside the selection, so the payload is
+        self-contained (pickle's memo keeps the VirtualState objects shared
+        between the two halves).
+        """
+        dstates = [self._dstates[index] for index in group_indices]
+        ordered_sids: List[int] = []
+        seen: Set[int] = set()
+        for dstate in dstates:
+            for virtual in dstate.virtuals():
+                sid = virtual.actual.sid
+                if sid not in seen:
+                    seen.add(sid)
+                    ordered_sids.append(sid)
+        virtuals = [(sid, list(self._virtuals[sid])) for sid in ordered_sids]
+        return (dstates, virtuals)
+
+    def restore_groups(self, payload) -> None:
+        if self._dstates:
+            raise MappingError("restore_groups on a non-empty mapper")
+        dstates, virtuals = payload
+        max_did = 0
+        max_vid = 0
+        max_sid = 0
+        for dstate in dstates:
+            self._dstates.append(dstate)
+            max_did = max(max_did, dstate.id)
+        for sid, virtual_list in virtuals:
+            self._virtuals[sid] = list(virtual_list)
+            max_sid = max(max_sid, sid)
+            for virtual in virtual_list:
+                max_vid = max(max_vid, virtual.vid)
+        _ensure_counter_above(VDState, max_did)
+        _ensure_counter_above(VirtualState, max_vid)
+        from ..vm.state import ensure_state_ids_above
+
+        ensure_state_ids_above(max_sid)
 
     # -- introspection -------------------------------------------------------------
 

@@ -7,6 +7,12 @@ demands it) and booleans.  Expressions are immutable, structurally hashed and
 keeps forked execution states cheap to copy and makes structural equality an
 identity check.
 
+Interning is per-process, so every node class defines ``__reduce__`` to
+rebuild through its constructor on unpickling.  A pickled expression
+shipped to a worker process (see :mod:`repro.core.parallel`) re-enters the
+worker's own interning table, keeping the identity-equality invariant sound
+across process boundaries.
+
 The classes here are deliberately dumb containers.  All smart behaviour
 (constant folding, algebraic simplification) lives in
 :mod:`repro.expr.builder`, which is the only sanctioned way to construct
@@ -209,6 +215,9 @@ class BVConst(BVExpr):
     def signed(self) -> int:
         return to_signed(self.value, self.width)
 
+    def __reduce__(self):
+        return (BVConst, (self.value, self.width))
+
     def __repr__(self) -> str:
         return f"{self.value}#{self.width}"
 
@@ -234,6 +243,9 @@ class BVVar(BVExpr):
 
         return _interned(key, build)  # type: ignore[return-value]
 
+    def __reduce__(self):
+        return (BVVar, (self.name, self.width))
+
     def __repr__(self) -> str:
         return f"{self.name}#{self.width}"
 
@@ -258,6 +270,9 @@ class BVUnary(BVExpr):
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
+
+    def __reduce__(self):
+        return (BVUnary, (self.op, self.operand))
 
     def __repr__(self) -> str:
         return f"({self.op} {self.operand!r})"
@@ -285,6 +300,9 @@ class BVBinary(BVExpr):
     def children(self) -> Tuple[Expr, ...]:
         return (self.left, self.right)
 
+    def __reduce__(self):
+        return (BVBinary, (self.op, self.left, self.right))
+
     def __repr__(self) -> str:
         return f"({self.op} {self.left!r} {self.right!r})"
 
@@ -311,6 +329,9 @@ class BVIte(BVExpr):
     def children(self) -> Tuple[Expr, ...]:
         return (self.cond, self.then, self.orelse)
 
+    def __reduce__(self):
+        return (BVIte, (self.cond, self.then, self.orelse))
+
     def __repr__(self) -> str:
         return f"(ite {self.cond!r} {self.then!r} {self.orelse!r})"
 
@@ -335,6 +356,9 @@ class BVExtract(BVExpr):
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
+
+    def __reduce__(self):
+        return (BVExtract, (self.operand, self.low, self.width))
 
     def __repr__(self) -> str:
         hi = self.low + self.width - 1
@@ -362,6 +386,9 @@ class BVExtend(BVExpr):
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
 
+    def __reduce__(self):
+        return (BVExtend, (self.operand, self.width, self.signed))
+
     def __repr__(self) -> str:
         kind = "sext" if self.signed else "zext"
         return f"({kind} {self.operand!r} -> {self.width})"
@@ -388,6 +415,9 @@ class BVConcat(BVExpr):
     def children(self) -> Tuple[Expr, ...]:
         return (self.high, self.low_part)
 
+    def __reduce__(self):
+        return (BVConcat, (self.high, self.low_part))
+
     def __repr__(self) -> str:
         return f"(concat {self.high!r} {self.low_part!r})"
 
@@ -411,6 +441,9 @@ class BoolConst(BoolExpr):
     def is_const(self) -> bool:
         return True
 
+    def __reduce__(self):
+        return (BoolConst, (self.value,))
+
     def __repr__(self) -> str:
         return "true" if self.value else "false"
 
@@ -431,6 +464,9 @@ class BoolNot(BoolExpr):
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.operand,)
+
+    def __reduce__(self):
+        return (BoolNot, (self.operand,))
 
     def __repr__(self) -> str:
         return f"(not {self.operand!r})"
@@ -455,6 +491,9 @@ class BoolAnd(BoolExpr):
     def children(self) -> Tuple[Expr, ...]:
         return self.operands
 
+    def __reduce__(self):
+        return (BoolAnd, (self.operands,))
+
     def __repr__(self) -> str:
         inner = " ".join(repr(o) for o in self.operands)
         return f"(and {inner})"
@@ -478,6 +517,9 @@ class BoolOr(BoolExpr):
 
     def children(self) -> Tuple[Expr, ...]:
         return self.operands
+
+    def __reduce__(self):
+        return (BoolOr, (self.operands,))
 
     def __repr__(self) -> str:
         inner = " ".join(repr(o) for o in self.operands)
@@ -507,3 +549,6 @@ class Cmp(BoolExpr):
 
     def __repr__(self) -> str:
         return f"({self.op} {self.left!r} {self.right!r})"
+
+    def __reduce__(self):
+        return (Cmp, (self.op, self.left, self.right))

@@ -14,7 +14,12 @@ from typing import Tuple, Union
 
 from ..expr import BVExpr
 
-__all__ = ["Packet", "reset_packet_ids"]
+__all__ = [
+    "Packet",
+    "reset_packet_ids",
+    "ensure_packet_ids_above",
+    "packet_id_watermark",
+]
 
 PayloadCell = Union[int, BVExpr]
 
@@ -25,6 +30,27 @@ def reset_packet_ids() -> None:
     """Restart pid numbering (kept per-process otherwise; tests only)."""
     global _packet_ids
     _packet_ids = itertools.count(1)
+
+
+def ensure_packet_ids_above(minimum: int) -> None:
+    """Advance the pid counter past ``minimum``.
+
+    Worker processes restoring an engine snapshot inherit packets whose pids
+    were allocated in the parent; new pids must not collide with them
+    (communication histories key on pid uniqueness).
+    """
+    global _packet_ids
+    if next(_packet_ids) <= minimum:
+        _packet_ids = itertools.count(minimum + 1)
+
+
+def packet_id_watermark() -> int:
+    """A pid bound: every pid allocated so far is <= the returned value.
+
+    Consumes one id, so only call at snapshot points; pids are opaque (only
+    equality matters), so the gap is harmless.
+    """
+    return next(_packet_ids)
 
 
 class Packet:

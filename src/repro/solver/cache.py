@@ -10,14 +10,21 @@ Two layers, mirroring KLEE's caching stack:
    produced models are evaluated against the new query; a hit proves
    satisfiability without any search.  This catches the common "the new
    conjunct was already true under the old model" case.
+
+The model-reuse scan is bounded: each model remembers its variable-name
+set, candidates whose variables are not a subset of the query's variables
+are skipped without evaluation (they came from unrelated independence
+groups), and at most ``max_model_scan`` models are *evaluated* per
+lookup.  ``CacheStats.model_scan_steps`` counts the evaluations so the
+ablation benchmark can report the scan cost directly.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from ..expr import BoolExpr
+from ..expr import BoolExpr, BVVar
 from .model import Model
 
 __all__ = ["SolverCache", "CacheStats"]
@@ -26,13 +33,21 @@ __all__ = ["SolverCache", "CacheStats"]
 class CacheStats:
     """Counters exposed for the solver-ablation benchmark."""
 
-    __slots__ = ("exact_hits", "model_reuse_hits", "misses", "stores")
+    __slots__ = (
+        "exact_hits",
+        "model_reuse_hits",
+        "misses",
+        "stores",
+        "model_scan_steps",
+    )
 
     def __init__(self) -> None:
         self.exact_hits = 0
         self.model_reuse_hits = 0
         self.misses = 0
         self.stores = 0
+        #: total model evaluations performed by the reuse scan
+        self.model_scan_steps = 0
 
     def as_dict(self) -> dict:
         return {
@@ -40,6 +55,7 @@ class CacheStats:
             "model_reuse_hits": self.model_reuse_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "model_scan_steps": self.model_scan_steps,
         }
 
     def __repr__(self) -> str:
@@ -55,13 +71,20 @@ _MISS = object()
 class SolverCache:
     """Bounded LRU cache of query results plus a model-reuse pool."""
 
-    def __init__(self, max_entries: int = 65536, max_models: int = 256) -> None:
+    def __init__(
+        self,
+        max_entries: int = 65536,
+        max_models: int = 256,
+        max_model_scan: int = 64,
+    ) -> None:
         self._exact: "OrderedDict[FrozenSet[BoolExpr], Optional[Model]]" = (
             OrderedDict()
         )
         self._models: "OrderedDict[Model, None]" = OrderedDict()
+        self._model_vars: Dict[Model, FrozenSet[str]] = {}
         self._max_entries = max_entries
         self._max_models = max_models
+        self._max_model_scan = max_model_scan
         self.stats = CacheStats()
 
     @staticmethod
@@ -69,19 +92,44 @@ class SolverCache:
         return frozenset(constraints)
 
     def lookup(
-        self, key: FrozenSet[BoolExpr]
+        self,
+        key: FrozenSet[BoolExpr],
+        variables: Optional[Iterable[BVVar]] = None,
     ) -> Tuple[bool, Optional[Model]]:
-        """Return ``(hit, result)``; result is a Model or None (unsat)."""
+        """Return ``(hit, result)``; result is a Model or None (unsat).
+
+        ``variables``: the query's variable set when the caller knows it
+        (the solver passes each independence group's variables).  Models
+        assigning any variable outside the query are skipped without
+        evaluation — they were produced for unrelated groups and reusing
+        them would leak unconstrained assignments into the merged model.
+        """
         result = self._exact.get(key, _MISS)
         if result is not _MISS:
             self._exact.move_to_end(key)
             self.stats.exact_hits += 1
             return True, result  # type: ignore[return-value]
-        # Model reuse: most recently stored models first.
+        # Model reuse: most recently stored models first, at most
+        # max_model_scan evaluations.
+        query_names = (
+            None
+            if variables is None
+            else frozenset(v.name for v in variables)
+        )
+        evaluated = 0
         for model in reversed(self._models):
+            if evaluated >= self._max_model_scan:
+                break
+            if query_names is not None and not (
+                self._model_vars[model] <= query_names
+            ):
+                continue
+            evaluated += 1
             if model.satisfies(key):
+                self.stats.model_scan_steps += evaluated
                 self.stats.model_reuse_hits += 1
                 return True, model
+        self.stats.model_scan_steps += evaluated
         self.stats.misses += 1
         return False, None
 
@@ -93,13 +141,16 @@ class SolverCache:
             self._exact.popitem(last=False)
         if result is not None:
             self._models[result] = None
+            self._model_vars[result] = frozenset(result)
             self._models.move_to_end(result)
             while len(self._models) > self._max_models:
-                self._models.popitem(last=False)
+                evicted, _ = self._models.popitem(last=False)
+                self._model_vars.pop(evicted, None)
 
     def clear(self) -> None:
         self._exact.clear()
         self._models.clear()
+        self._model_vars.clear()
 
     def __len__(self) -> int:
         return len(self._exact)

@@ -162,7 +162,7 @@ class Solver:
     ) -> Optional[Model]:
         if self._cache is not None:
             key = SolverCache.key(group)
-            hit, cached = self._cache.lookup(key)
+            hit, cached = self._cache.lookup(key, group_vars)
             if hit:
                 return cached
         result = search(group, group_vars, max_nodes=self._max_nodes)

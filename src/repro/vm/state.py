@@ -22,11 +22,39 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..expr import BoolExpr, BVExpr
 from .errors import GuestError
 
-__all__ = ["ExecutionState", "Event", "Status", "CellValue"]
+__all__ = [
+    "ExecutionState",
+    "Event",
+    "Status",
+    "CellValue",
+    "ensure_state_ids_above",
+    "state_id_watermark",
+]
 
 CellValue = Union[int, BVExpr]
 
 _state_ids = itertools.count(1)
+
+
+def ensure_state_ids_above(minimum: int) -> None:
+    """Advance the sid counter past ``minimum``.
+
+    A worker process restoring an engine snapshot inherits states whose sids
+    were allocated in the parent; without this, locally forked states would
+    collide with them.
+    """
+    global _state_ids
+    if next(_state_ids) <= minimum:
+        _state_ids = itertools.count(minimum + 1)
+
+
+def state_id_watermark() -> int:
+    """A sid bound: every sid allocated so far is <= the returned value.
+
+    Consumes one id, so only call at snapshot points (the gap is harmless —
+    sids are opaque identifiers, never compared to anything but equality).
+    """
+    return next(_state_ids)
 
 
 class Status:
