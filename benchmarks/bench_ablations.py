@@ -61,21 +61,28 @@ class TestSolverCacheAblation:
             import time
 
             t0 = time.perf_counter()
-            engine.run()
-            return time.perf_counter() - t0, engine.solver
+            report = engine.run()
+            return time.perf_counter() - t0, report
 
         def measure():
-            cached_time, cached_solver = run_with(True)
-            uncached_time, uncached_solver = run_with(False)
-            return cached_time, cached_solver, uncached_time, uncached_solver
+            cached_time, cached_report = run_with(True)
+            uncached_time, uncached_report = run_with(False)
+            return cached_time, cached_report, uncached_time, uncached_report
 
-        cached_time, cached_solver, uncached_time, _ = once(measure)
-        stats = cached_solver.cache_stats()
-        hits = stats["exact_hits"] + stats["model_reuse_hits"]
+        cached_time, cached_report, uncached_time, _ = once(measure)
+        # All numbers come from the run's metrics snapshot — the same JSON
+        # contract `repro run --metrics-out` writes — not solver internals.
+        counters = cached_report.metrics["counters"]
+        hits = (
+            counters["solver.cache.exact_hits"]
+            + counters["solver.cache.model_reuse_hits"]
+        )
         assert hits > 0, "cache never hit on an SDE run"
         benchmark.extra_info["cache_hits"] = hits
-        benchmark.extra_info["cache_misses"] = stats["misses"]
-        benchmark.extra_info["model_scan_steps"] = stats["model_scan_steps"]
+        benchmark.extra_info["cache_misses"] = counters["solver.cache.misses"]
+        benchmark.extra_info["model_scan_steps"] = counters[
+            "solver.cache.model_scan_steps"
+        ]
         benchmark.extra_info["cached_s"] = round(cached_time, 3)
         benchmark.extra_info["uncached_s"] = round(uncached_time, 3)
 

@@ -53,7 +53,7 @@ def test_state_fork_cost(benchmark):
 
 
 def test_solver_query_rate(benchmark):
-    from repro.expr import bv, eq, ne, ult, var
+    from repro.expr import bv, ne, ult, var
 
     solver = Solver(use_cache=False)
     x = var("x")

@@ -9,7 +9,6 @@ closer to 1 than in the grid-collection scenario of Table I — the savings
 vanish when there are no bystanders.
 """
 
-import pytest
 
 from repro.bench.runner import run_one
 from repro.workloads import flood_scenario, grid_scenario

@@ -1,0 +1,61 @@
+"""Overhead budget of the observability layer.
+
+The event trace is wired into the engine's hottest paths (dispatch,
+transmission mapping, solver queries), so it must be cheap enough to
+leave on for any diagnostic run.  The acceptance bar: a fully traced run
+stays within **1.15x** of the untraced wall-clock.  Both sides take the
+best of three runs so a scheduler hiccup on either side cannot decide
+the verdict.
+
+The zero-cost claim for *disabled* tracing (no allocations on the hot
+path at all) is asserted separately, in
+``tests/obs/test_events.py::test_disabled_tracing_allocates_nothing``.
+"""
+
+import time
+
+from repro import build_engine
+from repro.obs import TraceEmitter
+from repro.workloads import grid_scenario
+
+REPEATS = 3
+
+
+def _scenario():
+    return grid_scenario(4, sim_seconds=6)
+
+
+def _best_run_seconds(trace_factory):
+    best = None
+    events = 0
+    for _ in range(REPEATS):
+        trace = trace_factory()
+        engine = build_engine(_scenario(), "sds", trace=trace)
+        t0 = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+        if trace is not None:
+            events = len(trace)
+    return best, events
+
+
+def test_tracing_overhead_within_budget(once, benchmark):
+    def measure():
+        untraced_s, _ = _best_run_seconds(lambda: None)
+        traced_s, events = _best_run_seconds(TraceEmitter)
+        return untraced_s, traced_s, events
+
+    untraced_s, traced_s, events = once(measure)
+    ratio = traced_s / max(untraced_s, 1e-9)
+    benchmark.extra_info["untraced_s"] = round(untraced_s, 4)
+    benchmark.extra_info["traced_s"] = round(traced_s, 4)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 3)
+    assert events > 0, "traced run produced no events"
+    assert ratio <= 1.15, (
+        f"tracing overhead {ratio:.2f}x exceeds the 1.15x budget"
+        f" ({untraced_s:.3f}s untraced vs {traced_s:.3f}s traced,"
+        f" {events} events)"
+    )

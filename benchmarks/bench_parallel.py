@@ -59,10 +59,17 @@ def test_parallel_speedup_grid5_cow(once, benchmark, workers):
 
     sequential, sequential_s, parallel, parallel_s = once(measure)
 
-    # The merged report must be exactly the sequential run's.
-    assert parallel.total_states == sequential.total_states
-    assert parallel.group_count == sequential.group_count
-    assert parallel.events_executed == sequential.events_executed
+    # The merged report must be exactly the sequential run's.  Both sides
+    # are read from the metrics snapshot (the contract `--metrics-out`
+    # writes), not from mapper or report internals.
+    seq_counters = sequential.metrics["counters"]
+    par_counters = parallel.metrics["counters"]
+    for name in ("states.total", "mapping.groups", "run.events_executed"):
+        assert par_counters[name] == seq_counters[name], (
+            name,
+            seq_counters[name],
+            par_counters[name],
+        )
 
     cores = _available_cores()
     speedup = sequential_s / max(parallel_s, 1e-9)
@@ -71,9 +78,11 @@ def test_parallel_speedup_grid5_cow(once, benchmark, workers):
     benchmark.extra_info["sequential_s"] = round(sequential_s, 3)
     benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
-    benchmark.extra_info["projected_speedup"] = round(parallel.projected, 2)
-    benchmark.extra_info["partitions"] = parallel.partition_count
-    benchmark.extra_info["prefix_events"] = parallel.prefix_events
+    benchmark.extra_info["projected_speedup"] = parallel.metrics["gauges"][
+        "parallel.projected_speedup"
+    ]
+    benchmark.extra_info["partitions"] = par_counters["parallel.partitions"]
+    benchmark.extra_info["prefix_events"] = par_counters["parallel.prefix_events"]
     if workers == 2 and cores >= 2:
         # The acceptance bar: real wall-clock win, not just a projection.
         assert speedup > 1.2, (

@@ -6,7 +6,6 @@ the number of bystanders increases".  Sweeps grid sides 3..6 and records
 states per algorithm; asserts the COW/SDS factor is monotone-ish in k.
 """
 
-import pytest
 
 from repro.bench.runner import run_one
 from repro.workloads import grid_scenario

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pathlib
 import sys
-from typing import Dict, List
+from typing import List
 
 from ..workloads.grid import PAPER_SIZES, paper_grid_scenario
 from .report import render_series, series_csv

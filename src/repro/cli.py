@@ -8,9 +8,13 @@ Commands:
 - ``figure10`` — regenerate Figure 10 (delegates to repro.bench.figure10)
 - ``compile``  — compile an NSL source file and print the disassembly
 - ``testcases``— run a scenario and emit distributed test cases
+- ``trace``    — summarize, diff or schema-check run artifacts
+  (``trace summary``, ``trace diff``, ``trace check-metrics``)
 
 Scenario selectors for run/compare/testcases: ``grid:<side>``,
 ``line:<k>``, ``flood:<k>`` (e.g. ``grid:5`` is the paper's 25-node grid).
+``run`` accepts ``--trace-out events.jsonl`` and ``--metrics-out
+metrics.json`` to capture the structured observability artifacts.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from .bench.report import render_table1
 from .bench.runner import BenchRow, run_one
 from .core.scenario import ALGORITHMS, Scenario, build_engine
 from .core.testcase import generate_incrementally
+from .obs import TraceEmitter, save_metrics
 from .workloads import flood_scenario, grid_scenario, line_scenario
 
 __all__ = ["main"]
@@ -46,18 +51,30 @@ def _parse_scenario(spec: str, sim_seconds: int) -> Scenario:
 
 def _run_report(scenario, algorithm, args, **caps):
     """One run — parallel when ``--workers`` was given, sequential otherwise."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace = TraceEmitter() if trace_out else None
     if args.workers is not None:
         from .core.parallel import ParallelRunner
 
-        return ParallelRunner(
+        report = ParallelRunner(
             scenario,
             algorithm,
             workers=args.workers,
             split_ms=args.split_ms,
+            trace=trace,
             **caps,
         ).run()
-    engine = build_engine(scenario, algorithm, **caps)
-    return engine.run()
+    else:
+        engine = build_engine(scenario, algorithm, trace=trace, **caps)
+        report = engine.run()
+    if trace is not None:
+        trace.dump(trace_out)
+        print(f"trace written to {trace_out} ({len(trace)} events)")
+    if metrics_out is not None:
+        save_metrics(report.metrics, metrics_out)
+        print(f"metrics written to {metrics_out}")
+    return report
 
 
 def _cmd_run(args) -> int:
@@ -147,6 +164,42 @@ def _cmd_testcases(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import diff_traces, load_trace, validate_metrics, validate_trace
+    from .obs.tracetool import render_summary, summarize_trace
+
+    if args.trace_command == "summary":
+        events = load_trace(args.trace)
+        print(render_summary(summarize_trace(events)))
+        problems = validate_trace(events)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    if args.trace_command == "diff":
+        diff = diff_traces(load_trace(args.a), load_trace(args.b))
+        print(diff.render())
+        return 0 if diff.equal else 1
+    if args.trace_command == "check-metrics":
+        import json
+
+        with open(args.metrics) as handle:
+            data = json.load(handle)
+        errors = validate_metrics(data)
+        for error in errors:
+            print(f"INVALID: {error}", file=sys.stderr)
+        if not errors:
+            counters = data["counters"]
+            print(
+                f"metrics OK: {len(counters)} counters,"
+                f" {len(data['gauges'])} gauges,"
+                f" {len(data['histograms'])} histograms"
+                f" ({counters['run.events_executed']} events,"
+                f" {counters['states.total']} states)"
+            )
+        return 1 if errors else 0
+    raise SystemExit(f"unknown trace command {args.trace_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +215,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser.add_argument("--max-wall-seconds", type=float, default=None)
     run_parser.add_argument(
         "--json", default=None, help="write the full report as JSON"
+    )
+    run_parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the structured event trace as JSONL",
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics snapshot as JSON",
     )
     run_parser.add_argument(
         "--workers",
@@ -226,6 +289,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     testcases_parser.add_argument("--sim-seconds", type=int, default=5)
     testcases_parser.add_argument("--limit", type=int, default=50)
     testcases_parser.set_defaults(handler=_cmd_testcases)
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect trace/metrics artifacts"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summary_parser = trace_sub.add_parser(
+        "summary", help="summarize + schema-check one trace"
+    )
+    summary_parser.add_argument("trace", help="JSONL trace from --trace-out")
+    diff_parser = trace_sub.add_parser(
+        "diff", help="compare two traces by canonical event multiset"
+    )
+    diff_parser.add_argument("a")
+    diff_parser.add_argument("b")
+    check_parser = trace_sub.add_parser(
+        "check-metrics", help="schema-check a metrics snapshot"
+    )
+    check_parser.add_argument("metrics", help="JSON file from --metrics-out")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -91,6 +91,15 @@ class COBMapper(StateMapper):
                     self.spawn(copy)
                     self.stats.local_forks += 1
                     self.stats.bystander_duplicates += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "mapper.copy",
+                            node=node,
+                            t=parent.clock,
+                            kind="real",
+                            role="bystander",
+                            sid=copy.sid,
+                        )
             twin_scenario = DScenario(members)
             self._dscenarios.append(twin_scenario)
             for state in members.values():

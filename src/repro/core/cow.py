@@ -119,6 +119,15 @@ class COWMapper(StateMapper):
                 self.stats.mapping_forks += 1
                 if node != dest_node:
                     self.stats.bystander_duplicates += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "mapper.copy",
+                        node=node,
+                        t=sender.clock,
+                        kind="real",
+                        role="target" if node == dest_node else "bystander",
+                        sid=copy.sid,
+                    )
             new_members[node] = copies
             if node == dest_node:
                 receivers = copies

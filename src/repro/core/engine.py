@@ -22,8 +22,7 @@ This module is exactly that loop:
 from __future__ import annotations
 
 import itertools
-import time as _time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..lang.bytecode import CompiledProgram
 from ..lang.compiler import compile_source
@@ -31,6 +30,9 @@ from ..net.failures import FailureModel
 from ..net.medium import Medium
 from ..net.packet import Packet
 from ..net.topology import Topology
+from ..obs.events import TraceEmitter
+from ..obs.metrics import report_snapshot
+from ..obs.profile import PhaseProfiler
 from ..oslib.kernel import HANDLER_BOOT, HANDLER_RECV, HANDLER_TIMER, NodeOS
 from ..sim.clock import VirtualClock
 from ..sim.queue import EventQueue
@@ -71,6 +73,18 @@ class RunReport:
         self.accounted_bytes = (
             self.samples[-1].accounted_bytes if self.samples else 0
         )
+        # -- observability extras (the metrics-snapshot contract) ----------
+        self.phases = engine.profiler.snapshot()
+        self.cache_stats = engine.solver.cache_stats()
+        self.solver_stats = {
+            "sat_results": engine.solver.sat_results,
+            "unsat_results": engine.solver.unsat_results,
+        }
+        self.net_stats = engine.medium.stats_dict()
+        self.histograms = {
+            "solver.query.conjuncts": engine.solver.conjunct_histogram.data(),
+        }
+        self.metrics = report_snapshot(self)
 
     def peak_states(self) -> int:
         return max((s.total_states for s in self.samples), default=self.total_states)
@@ -92,6 +106,11 @@ class RunReport:
             f"  error states     : {len(self.error_states)}",
             f"  solver queries   : {self.solver_queries}",
         ]
+        for name, data in self.phases.items():
+            lines.append(
+                f"  phase {name:<11}: {data['seconds']:.3f}s"
+                f" ({data['count']} enters)"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -121,6 +140,7 @@ class SDEEngine:
         check_invariants: bool = False,
         sample_every_events: int = 64,
         max_steps_per_event: int = 1_000_000,
+        trace: Optional[TraceEmitter] = None,
     ) -> None:
         if isinstance(program, str):
             program = compile_source(program)
@@ -161,7 +181,15 @@ class SDEEngine:
         self.stats = StatsRecorder(
             len(program.code), sample_every_events=sample_every_events
         )
-        mapper.bind(self._register_state)
+        # Observability: `trace is None` means tracing off — every emit
+        # site guards on that, so the disabled path allocates nothing.
+        self.trace = trace
+        self.profiler = PhaseProfiler()
+        self._phase_execute = self.profiler.phase("execute")
+        self._phase_map = self.profiler.phase("map")
+        self.medium.trace = trace
+        self.solver.attach_observability(trace, self.profiler)
+        mapper.bind(self._register_state, trace=trace)
 
     # -- EngineServices (used by NodeOS) ---------------------------------------
 
@@ -198,13 +226,34 @@ class SDEEngine:
             sender.node, dest_node, tuple(payload), sender.clock, broadcast_id
         )
         self.packets[packet.pid] = packet
-        receivers = self.mapper.map_transmission(sender, dest_node)
+        with self._phase_map:
+            receivers = self.mapper.map_transmission(sender, dest_node)
         sender.record_sent(packet.pid, dest_node)
         deliver_at = self.medium.delivery_time(sender.clock)
+        if self.trace is not None:
+            self.trace.emit(
+                "packet.send",
+                src=sender.node,
+                dest=dest_node,
+                t=sender.clock,
+                # Boolean, not the group id: broadcast ids are allocated
+                # from a watermarked counter and differ across workers.
+                bcast=broadcast_id is not None,
+                pid=packet.pid,
+            )
         for receiver in receivers:
             receiver.record_received(packet.pid, sender.node)
             receiver.push_event(deliver_at, Event.RECV, packet)
             self._schedule(receiver)
+            if self.trace is not None:
+                self.trace.emit(
+                    "packet.deliver",
+                    node=receiver.node,
+                    src=sender.node,
+                    t=deliver_at,
+                    pid=packet.pid,
+                    sid=receiver.sid,
+                )
 
     # -- setup --------------------------------------------------------------------
 
@@ -213,6 +262,12 @@ class SDEEngine:
         if self._started:
             raise RuntimeError("engine already set up")
         self._started = True
+        if self.trace is not None:
+            self.trace.emit(
+                "run.start",
+                algorithm=self.mapper.name,
+                nodes=self.topology.node_count,
+            )
         initial: List[ExecutionState] = []
         for node in self.topology.nodes():
             state = self.executor.make_initial_state(node)
@@ -239,6 +294,12 @@ class SDEEngine:
     def run(self) -> RunReport:
         self.run_until()
         self._sample_and_check_caps(force=True)
+        if self.trace is not None:
+            self.trace.emit(
+                "run.end",
+                algorithm=self.mapper.name,
+                events=self.events_executed,
+            )
         return RunReport(self)
 
     def run_until(
@@ -272,7 +333,8 @@ class SDEEngine:
             event = state.pop_event()
             self.clock.advance_to(event_time)
             state.clock = event_time
-            self._dispatch(state, event)
+            with self._phase_execute:
+                self._dispatch(state, event)
             self.events_executed += 1
             if self.stats.should_sample(self.events_executed):
                 self._sample_and_check_caps()
@@ -345,6 +407,14 @@ class SDEEngine:
         for result in results:
             self.states.setdefault(result.sid, result)
             self._schedule(result)
+            if self.trace is not None and not result.is_active():
+                self.trace.emit(
+                    "state.terminate",
+                    node=result.node,
+                    t=result.clock,
+                    status=result.status,
+                    sid=result.sid,
+                )
         return results
 
     def _on_local_fork(
@@ -352,6 +422,15 @@ class SDEEngine:
     ) -> None:
         for child in children:
             self.states[child.sid] = child
+            if self.trace is not None:
+                self.trace.emit(
+                    "state.fork",
+                    node=parent.node,
+                    t=parent.clock,
+                    reason="local",
+                    parent=parent.sid,
+                    child=child.sid,
+                )
         self.mapper.on_local_fork(parent, children)
 
     def _dispatch_reception(self, state: ExecutionState, packet: Packet) -> None:
@@ -363,6 +442,15 @@ class SDEEngine:
             plans, forks = model.apply(plans, packet)
             for parent, twin in forks:
                 self._register_state(twin)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "state.fork",
+                        node=parent.node,
+                        t=parent.clock,
+                        reason="failure",
+                        parent=parent.sid,
+                        child=twin.sid,
+                    )
                 self.mapper.on_local_fork(parent, [twin])
         for variant, deliveries, reboot in plans:
             if reboot:
@@ -392,6 +480,10 @@ class SDEEngine:
 
     def _reboot(self, state: ExecutionState) -> None:
         """Crash-and-reboot: wipe RAM, cancel timers, re-run on_boot."""
+        if self.trace is not None:
+            self.trace.emit(
+                "state.reboot", node=state.node, t=state.clock, sid=state.sid
+            )
         state.memory = [0] * self.program.memory_size
         for address, value in self.program.initializers:
             state.memory[address] = value & 0xFFFFFFFF

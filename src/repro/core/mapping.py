@@ -74,12 +74,15 @@ class StateMapper:
     def __init__(self) -> None:
         self.stats = MappingStats()
         self._spawn: Optional[SpawnCallback] = None
+        #: structured event trace; ``None`` keeps mapping allocation-free
+        self.trace = None
 
     # -- wiring ----------------------------------------------------------------
 
-    def bind(self, spawn: SpawnCallback) -> None:
+    def bind(self, spawn: SpawnCallback, trace=None) -> None:
         """Install the engine callback used to register forked states."""
         self._spawn = spawn
+        self.trace = trace
 
     def spawn(self, state: ExecutionState) -> None:
         if self._spawn is None:

@@ -27,7 +27,7 @@ A merge group is a set of transmissions that:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 from ..net.packet import Packet
 from ..vm.state import ExecutionState

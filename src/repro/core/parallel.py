@@ -39,11 +39,14 @@ from __future__ import annotations
 import itertools
 import pickle
 import time as _time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..net.packet import ensure_packet_ids_above, packet_id_watermark
+from ..obs.events import TraceEmitter
+from ..obs.metrics import Histogram, report_snapshot
+from ..obs.profile import merge_phase_snapshots
 from ..solver import Solver
-from ..vm.state import ExecutionState, ensure_state_ids_above, state_id_watermark
+from ..vm.state import ensure_state_ids_above, state_id_watermark
 from .engine import RunReport, SDEEngine
 from .partition import Partition, lpt_assign, partition_groups, projected_speedup
 from .stats import (
@@ -79,6 +82,7 @@ class WorkerTask:
         "state_watermark",
         "packet_watermark",
         "broadcast_watermark",
+        "trace",
     )
 
     def __init__(self, **fields) -> None:
@@ -114,9 +118,21 @@ class WorkerResult:
         "census",
         "aborted",
         "abort_reason",
+        "cache_stats",
+        "solver_stats",
+        "net_stats",
+        "phases",
+        "histograms",
+        "events",
     )
 
-    def __init__(self, task: WorkerTask, report: RunReport, census: Dict[int, int]):
+    def __init__(
+        self,
+        task: WorkerTask,
+        report: RunReport,
+        census: Dict[int, int],
+        events: Optional[List[dict]] = None,
+    ):
         self.index = task.index
         self.runtime_seconds = report.runtime_seconds
         self.virtual_ms = report.virtual_ms
@@ -132,6 +148,12 @@ class WorkerResult:
         self.census = dict(census)
         self.aborted = report.aborted
         self.abort_reason = report.abort_reason
+        self.cache_stats = report.cache_stats
+        self.solver_stats = dict(report.solver_stats)
+        self.net_stats = dict(report.net_stats)
+        self.phases = dict(report.phases)
+        self.histograms = dict(report.histograms)
+        self.events = list(events or [])
 
     def __getstate__(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -169,6 +191,7 @@ def restore_worker_engine(task: WorkerTask) -> SDEEngine:
         max_wall_seconds=task.max_wall_seconds,
         sample_every_events=task.sample_every_events,
         max_steps_per_event=task.max_steps_per_event,
+        trace=TraceEmitter(worker=task.index) if task.trace else None,
     )
     engine._started = True  # resuming: the boot states already exist
     mapper.restore_groups(task.mapper_payload)
@@ -195,7 +218,8 @@ def execute_task_bytes(payload: bytes) -> WorkerResult:
     task: WorkerTask = pickle.loads(payload)
     engine = restore_worker_engine(task)
     report = engine.run()
-    return WorkerResult(task, report, engine.state_census())
+    events = engine.trace.events if engine.trace is not None else []
+    return WorkerResult(task, report, engine.state_census(), events)
 
 
 def _worker_entry(payload: bytes, queue) -> None:  # pragma: no cover - subprocess
@@ -207,6 +231,14 @@ def _worker_entry(payload: bytes, queue) -> None:  # pragma: no cover - subproce
         queue.put(pickle.dumps(RuntimeError(
             f"parallel worker failed: {exc}\n{traceback.format_exc()}"
         )))
+
+
+def _sum_dicts(parts: Sequence[Dict[str, int]]) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
 
 
 class ParallelReport:
@@ -231,6 +263,7 @@ class ParallelReport:
         split_events: Optional[int],
         runtime_seconds: float,
     ) -> None:
+        merge_started = _time.perf_counter()
         self.algorithm = prefix.algorithm
         self.workers = workers
         self.worker_results = list(worker_results)
@@ -304,6 +337,42 @@ class ParallelReport:
             )
         )
 
+        # Observability merge: stats sum exactly (same argument as the
+        # state totals above); phases/histograms merge across the prefix
+        # and every worker, plus a "merge" phase for this method itself.
+        self.solver_stats = _sum_dicts(
+            [prefix.solver_stats] + [w.solver_stats for w in results]
+        )
+        self.net_stats = _sum_dicts(
+            [prefix.net_stats] + [w.net_stats for w in results]
+        )
+        cache_parts = [
+            part
+            for part in [prefix.cache_stats] + [w.cache_stats for w in results]
+            if part is not None
+        ]
+        self.cache_stats = _sum_dicts(cache_parts) if cache_parts else None
+        histogram_names = set(prefix.histograms)
+        for worker in results:
+            histogram_names.update(worker.histograms)
+        self.histograms = {
+            name: Histogram.merge_data(
+                [prefix.histograms.get(name)]
+                + [w.histograms.get(name) for w in results]
+            )
+            for name in sorted(histogram_names)
+        }
+        merge_phase = {
+            "merge": {
+                "count": 1,
+                "seconds": _time.perf_counter() - merge_started,
+            }
+        }
+        self.phases = merge_phase_snapshots(
+            [prefix.phases] + [w.phases for w in results] + [merge_phase]
+        )
+        self.metrics = report_snapshot(self)
+
     # -- RunReport duck-typing ------------------------------------------------
 
     def peak_states(self) -> int:
@@ -360,6 +429,7 @@ class ParallelRunner:
         split_ms: Optional[int] = None,
         split_events: Optional[int] = None,
         start_method: Optional[str] = None,
+        trace: Optional[TraceEmitter] = None,
         **engine_overrides,
     ) -> None:
         if workers < 1:
@@ -375,6 +445,7 @@ class ParallelRunner:
         self.split_ms = split_ms
         self.split_events = split_events
         self.start_method = start_method
+        self.trace = trace
         self.engine_overrides = engine_overrides
 
     def run(self) -> ParallelReport:
@@ -382,7 +453,10 @@ class ParallelRunner:
 
         started = _time.perf_counter()
         engine = build_engine(
-            self.scenario, self.algorithm, **self.engine_overrides
+            self.scenario,
+            self.algorithm,
+            trace=self.trace,
+            **self.engine_overrides,
         )
         engine.run_until(split_ms=self.split_ms, split_events=self.split_events)
         engine._sample_and_check_caps(force=True)
@@ -391,11 +465,21 @@ class ParallelRunner:
 
         tasks = [] if engine.aborted else self._build_tasks(engine)
         partitions = self._partitions if tasks else []
+        if tasks and self.trace is not None:
+            self.trace.emit(
+                "worker.partition.start",
+                partitions=len(partitions),
+                states=sum(p.state_count() for p in partitions),
+            )
         if tasks:
             results = self._execute(tasks)
             results.sort(key=lambda w: w.index)
         else:
             results = []
+        if self.trace is not None:
+            for worker in results:
+                self.trace.extend(worker.events)
+            self.trace.emit("worker.merge", workers=len(results))
         return ParallelReport(
             prefix=prefix,
             prefix_census=prefix_census,
@@ -459,6 +543,7 @@ class ParallelRunner:
                     state_watermark=state_watermark,
                     packet_watermark=packet_watermark,
                     broadcast_watermark=broadcast_watermark,
+                    trace=self.trace is not None,
                 )
             )
         return tasks

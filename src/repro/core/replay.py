@@ -17,7 +17,7 @@ failure concretely instead of forking.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 from ..net.failures import DeliveryPlan, FailureModel
 from ..net.packet import Packet

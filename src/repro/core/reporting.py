@@ -11,7 +11,7 @@ changes.
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict
 
 from .engine import RunReport
 
@@ -39,6 +39,13 @@ def report_to_dict(report: RunReport, include_series: bool = True) -> Dict:
         "peak_accounted_bytes": report.peak_accounted_bytes(),
         "solver_queries": report.solver_queries,
         "mapping_stats": dict(report.mapping_stats),
+        # Additive in schema 1: the observability layer's phase timings and
+        # full metrics snapshot (see docs/OBSERVABILITY.md).
+        "phases": {
+            name: {"count": data["count"], "seconds": round(data["seconds"], 6)}
+            for name, data in report.phases.items()
+        },
+        "metrics": report.metrics,
         "errors": [
             {
                 "kind": state.error.kind,

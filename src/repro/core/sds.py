@@ -125,6 +125,15 @@ class SDSMapper(StateMapper):
                 dstate.members[parent.node].append(virtual)
                 child_virtuals.append(virtual)
                 self.stats.virtual_forks += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "mapper.copy",
+                        node=parent.node,
+                        t=parent.clock,
+                        kind="virtual",
+                        role="local",
+                        vid=virtual.vid,
+                    )
             self._virtuals[child.sid] = child_virtuals
 
     def map_transmission(
@@ -167,6 +176,15 @@ class SDSMapper(StateMapper):
                 twins[target.sid] = twin
                 self.spawn(twin)
                 self.stats.mapping_forks += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "mapper.copy",
+                        node=target.node,
+                        t=sender.clock,
+                        kind="real",
+                        role="target",
+                        sid=twin.sid,
+                    )
 
         # Phase 4a: per sender dstate, resolve direct-rival conflicts by
         # COW-forking the *virtual* layer.
@@ -203,6 +221,15 @@ class SDSMapper(StateMapper):
                         self._virtuals[old.actual.sid].append(fresh)
                     fresh_list.append(fresh)
                     self.stats.virtual_forks += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "mapper.copy",
+                            node=node,
+                            t=sender.clock,
+                            kind="virtual",
+                            role="target" if node == dest_node else "bystander",
+                            vid=fresh.vid,
+                        )
                 new_members[node] = fresh_list
             self._dstates.append(new_dstate)
             delivery_dstate_ids.add(new_dstate.id)

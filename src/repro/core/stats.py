@@ -19,7 +19,7 @@ content is identical — that is exactly the waste COW/SDS remove.
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, NamedTuple, Optional
+from typing import Iterable, List, NamedTuple
 
 from ..vm.state import ExecutionState
 

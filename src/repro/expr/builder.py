@@ -31,7 +31,6 @@ from .ast import (
     Cmp,
     mask,
     to_signed,
-    to_unsigned,
 )
 
 __all__ = [

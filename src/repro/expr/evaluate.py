@@ -14,7 +14,6 @@ from .ast import (
     BVBinary,
     BVConcat,
     BVConst,
-    BVExpr,
     BVExtend,
     BVExtract,
     BVIte,
@@ -22,7 +21,6 @@ from .ast import (
     BVVar,
     BoolAnd,
     BoolConst,
-    BoolExpr,
     BoolNot,
     BoolOr,
     Cmp,

@@ -15,7 +15,7 @@ Responsibilities beyond plain codegen:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from . import nodes as N
 from .builtins import check_arity, is_builtin

@@ -7,7 +7,7 @@ by :mod:`repro.lang.compiler`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 __all__ = [
     "Node",

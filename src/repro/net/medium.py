@@ -12,7 +12,7 @@ medium therefore only answers reachability and delay questions:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from .topology import Topology
 
@@ -30,25 +30,42 @@ class Medium:
         self.unicasts_sent = 0
         self.broadcasts_sent = 0
         self.undeliverable = 0
+        #: structured event trace (set by the engine); None = off
+        self.trace = None
 
     def unicast_targets(self, src: int, dest: int) -> List[int]:
         """Destination node ids a unicast actually reaches (0 or 1)."""
         self.unicasts_sent += 1
-        if self.topology.are_neighbors(src, dest):
-            return [dest]
-        self.undeliverable += 1
-        return []
+        delivered = self.topology.are_neighbors(src, dest)
+        if not delivered:
+            self.undeliverable += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "net.unicast", src=src, dest=dest, delivered=delivered
+            )
+        return [dest] if delivered else []
 
     def broadcast_targets(self, src: int) -> List[int]:
         """Every neighbour overhears a broadcast (sorted: determinism)."""
         self.broadcasts_sent += 1
-        return list(self.topology.neighbors(src))
+        targets = list(self.topology.neighbors(src))
+        if self.trace is not None:
+            self.trace.emit("net.broadcast", src=src, targets=len(targets))
+        return targets
 
     def delivery_time(self, sent_at: int) -> int:
         return sent_at + self.latency_ms
 
     def stats(self) -> Tuple[int, int, int]:
         return self.unicasts_sent, self.broadcasts_sent, self.undeliverable
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Counter names as they appear in the metrics snapshot."""
+        return {
+            "unicasts_sent": self.unicasts_sent,
+            "broadcasts_sent": self.broadcasts_sent,
+            "undeliverable": self.undeliverable,
+        }
 
     def __repr__(self) -> str:
         return f"Medium({self.topology.name}, latency={self.latency_ms}ms)"

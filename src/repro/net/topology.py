@@ -10,7 +10,7 @@ corners are bystanders).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import networkx as nx
 

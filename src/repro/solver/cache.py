@@ -86,6 +86,9 @@ class SolverCache:
         self._max_models = max_models
         self._max_model_scan = max_model_scan
         self.stats = CacheStats()
+        #: how the most recent lookup was answered ("exact"/"model"/"miss");
+        #: read by the solver's trace instrumentation.
+        self.last_outcome = "miss"
 
     @staticmethod
     def key(constraints: Iterable[BoolExpr]) -> FrozenSet[BoolExpr]:
@@ -108,6 +111,7 @@ class SolverCache:
         if result is not _MISS:
             self._exact.move_to_end(key)
             self.stats.exact_hits += 1
+            self.last_outcome = "exact"
             return True, result  # type: ignore[return-value]
         # Model reuse: most recently stored models first, at most
         # max_model_scan evaluations.
@@ -128,9 +132,11 @@ class SolverCache:
             if model.satisfies(key):
                 self.stats.model_scan_steps += evaluated
                 self.stats.model_reuse_hits += 1
+                self.last_outcome = "model"
                 return True, model
         self.stats.model_scan_steps += evaluated
         self.stats.misses += 1
+        self.last_outcome = "miss"
         return False, None
 
     def store(self, key: FrozenSet[BoolExpr], result: Optional[Model]) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from ..expr import BoolAnd, BoolConst, BoolExpr, and_, not_
+from ..obs.metrics import Histogram
 from .cache import SolverCache
 from .independence import partition
 from .model import Model
@@ -51,6 +52,16 @@ class Solver:
         self.queries = 0
         self.sat_results = 0
         self.unsat_results = 0
+        #: query-size distribution, part of the run's metrics snapshot
+        self.conjunct_histogram = Histogram("solver.query.conjuncts")
+        # Observability wiring (attach_observability); None = off.
+        self.trace = None
+        self._phase_solve = None
+
+    def attach_observability(self, trace, profiler) -> None:
+        """Adopt an engine's trace emitter and phase profiler."""
+        self.trace = trace
+        self._phase_solve = profiler.phase("solve") if profiler else None
 
     # -- public API ---------------------------------------------------------
 
@@ -60,13 +71,23 @@ class Solver:
         Variables not mentioned by ``constraints`` are unconstrained; models
         omit them (consumers default omitted inputs to zero).
         """
+        if self._phase_solve is not None:
+            with self._phase_solve:
+                return self._check(constraints)
+        return self._check(constraints)
+
+    def _check(self, constraints: Iterable[BoolExpr]) -> Optional[Model]:
         self.queries += 1
         conjuncts = self._normalize(constraints)
+        size = 0 if conjuncts is None else len(conjuncts)
+        self.conjunct_histogram.observe(size)
         if conjuncts is None:
             self.unsat_results += 1
+            self._emit_query(size, "unsat")
             return None
         if not conjuncts:
             self.sat_results += 1
+            self._emit_query(size, "sat")
             return Model({})
 
         merged = Model({})
@@ -74,10 +95,18 @@ class Solver:
             result = self._solve_group(group, group_vars)
             if result is None:
                 self.unsat_results += 1
+                self._emit_query(size, "unsat")
                 return None
             merged = merged.merged_with(result)
         self.sat_results += 1
+        self._emit_query(size, "sat")
         return merged
+
+    def _emit_query(self, conjuncts: int, result: str) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "solver.query", conjuncts=conjuncts, result=result
+            )
 
     def is_satisfiable(self, constraints: Iterable[BoolExpr]) -> bool:
         return self.check(constraints) is not None
@@ -164,7 +193,18 @@ class Solver:
             key = SolverCache.key(group)
             hit, cached = self._cache.lookup(key, group_vars)
             if hit:
+                if self.trace is not None:
+                    # Outcome is cache-state dependent, hence a volatile
+                    # field; the *count* of lookups is deterministic.
+                    self.trace.emit(
+                        "solver.cache", outcome=self._cache.last_outcome
+                    )
                 return cached
+        if self.trace is not None:
+            self.trace.emit(
+                "solver.cache",
+                outcome="miss" if self._cache is not None else "disabled",
+            )
         result = search(group, group_vars, max_nodes=self._max_nodes)
         if self._cache is not None:
             self._cache.store(key, result)

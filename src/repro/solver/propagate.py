@@ -17,7 +17,7 @@ Narrowing is two-phase per constraint:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..expr import (
     BoolAnd,
@@ -39,7 +39,6 @@ from ..expr import (
     interval_eval,
     mask,
     not_,
-    to_signed,
     to_unsigned,
 )
 from ..expr.interval import cond_verdict, signed_extrema

@@ -12,7 +12,7 @@ metric for SDE: a branch explored by any state in any dscenario counts.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Set
+from typing import List, NamedTuple, Set
 
 from ..lang.bytecode import CompiledProgram
 

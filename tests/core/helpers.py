@@ -8,7 +8,7 @@ transmit packets, and inspect the resulting structure.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.mapping import StateMapper
 from repro.vm.state import ExecutionState

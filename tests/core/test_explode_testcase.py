@@ -1,6 +1,5 @@
 """Dscenario explosion and test-case generation."""
 
-import pytest
 
 from repro import Scenario, Topology, build_engine
 from repro.core import (

@@ -153,6 +153,30 @@ class TestParallelEquivalence:
         assert data["total_states"] == parallel.total_states
         assert data["group_count"] == parallel.group_count
         assert data["series"][-1]["states"] == parallel.total_states
+        assert data["metrics"]["counters"]["parallel.workers"] == 2
+        assert "merge" in data["phases"]
+
+    @pytest.mark.parametrize("algorithm", ["cow", "sds"])
+    def test_grid5_trace_multiset_matches_sequential(self, algorithm):
+        # The event-level form of the equivalence above: the canonical
+        # multiset of traced semantic events is identical between the
+        # sequential run and a 2-worker run (modulo volatile id fields).
+        from repro.obs import TraceEmitter, diff_traces
+
+        sequential = TraceEmitter()
+        build_engine(
+            grid_scenario(5, sim_seconds=10), algorithm, trace=sequential
+        ).run()
+        parallel = TraceEmitter()
+        ParallelRunner(
+            grid_scenario(5, sim_seconds=10),
+            algorithm,
+            workers=2,
+            split_ms=SPLIT_MS,
+            trace=parallel,
+        ).run()
+        diff = diff_traces(sequential.events, parallel.events)
+        assert diff.equal, diff.render(limit=5)
 
 
 class TestPickling:

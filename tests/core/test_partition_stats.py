@@ -1,6 +1,6 @@
 """Partition analysis (future-work Section VI) and stats/memory accounting."""
 
-from repro import Scenario, Topology, build_engine
+from repro import build_engine
 from repro.core import (
     COWMapper,
     estimate_state_bytes,
@@ -8,7 +8,6 @@ from repro.core import (
     speedup_bound,
 )
 from repro.core.stats import StatsRecorder, process_rss_bytes
-from repro.net import SymbolicPacketDrop
 from repro.vm.state import ExecutionState
 from repro.workloads import grid_scenario
 

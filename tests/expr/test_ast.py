@@ -3,9 +3,6 @@
 import pytest
 
 from repro.expr import (
-    BVConst,
-    BVVar,
-    Cmp,
     add,
     and_,
     bv,

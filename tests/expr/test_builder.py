@@ -1,9 +1,7 @@
 """Unit tests for smart-constructor folding and rewrites."""
 
 from repro.expr import (
-    BVBinary,
     BVConst,
-    BoolConst,
     Cmp,
     add,
     and_,

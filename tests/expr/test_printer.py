@@ -3,7 +3,6 @@
 from repro.expr import (
     and_,
     bv,
-    bvand,
     concat,
     eq,
     extract,

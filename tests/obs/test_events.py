@@ -1,0 +1,140 @@
+"""The trace emitter: event shape, serialization, and the disabled path."""
+
+import json
+import os
+import tracemalloc
+
+import pytest
+
+import repro.obs
+from repro import Scenario, Topology, build_engine
+from repro.obs import EVENT_SCHEMA, TraceEmitter, load_trace, validate_trace
+
+PING = """
+func on_boot() {
+    if (node_id() == 0) { timer_set(0, 50); }
+}
+func on_timer(tid) {
+    var buf[1];
+    buf[0] = 7;
+    uc_send(1, buf, 1);
+}
+"""
+
+
+def _ping_scenario():
+    return Scenario(
+        name="ping", program=PING, topology=Topology.line(2), horizon_ms=200
+    )
+
+
+class TestTraceEmitter:
+    def test_emit_stamps_type_seq_and_worker(self):
+        trace = TraceEmitter(worker=3)
+        trace.emit("packet.send", src=0, dest=1, t=10, bcast=False, pid=1)
+        trace.emit("packet.deliver", node=1, src=0, t=11, pid=1, sid=2)
+        assert [e["ev"] for e in trace.events] == [
+            "packet.send",
+            "packet.deliver",
+        ]
+        assert [e["seq"] for e in trace.events] == [0, 1]
+        assert all(e["worker"] == 3 for e in trace.events)
+
+    def test_len_and_truthiness(self):
+        trace = TraceEmitter()
+        assert len(trace) == 0
+        assert trace  # an empty emitter is still "on"
+        trace.emit("run.start", algorithm="sds", nodes=2)
+        assert len(trace) == 1
+
+    def test_extend_keeps_foreign_events_verbatim(self):
+        trace = TraceEmitter()
+        foreign = [{"ev": "state.reboot", "node": 1, "t": 5, "sid": 9, "seq": 0}]
+        trace.extend(foreign)
+        assert trace.events[-1]["node"] == 1
+
+    def test_dump_and_load_round_trip(self, tmp_path):
+        trace = TraceEmitter()
+        trace.emit("run.start", algorithm="sds", nodes=2)
+        trace.emit("state.fork", node=0, t=3, reason="local", parent=1, child=2)
+        path = tmp_path / "events.jsonl"
+        trace.dump(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["ev"] == "run.start"
+        assert load_trace(path) == trace.events
+
+    def test_schema_covers_engine_emissions(self):
+        trace = TraceEmitter()
+        engine = build_engine(_ping_scenario(), "sds", trace=trace)
+        engine.run()
+        assert len(trace) > 0
+        assert validate_trace(trace.events) == []
+        seen = {event["ev"] for event in trace.events}
+        assert {"run.start", "run.end", "packet.send", "packet.deliver"} <= seen
+        assert seen <= set(EVENT_SCHEMA)
+
+
+class TestDisabledTracing:
+    def test_engine_defaults_to_no_trace(self):
+        engine = build_engine(_ping_scenario(), "sds")
+        assert engine.trace is None
+        assert engine.medium.trace is None
+        assert engine.solver.trace is None
+        assert engine.mapper.trace is None
+
+    def test_disabled_tracing_never_calls_the_emitter(self, monkeypatch):
+        def boom(self, ev, **fields):  # pragma: no cover - must not run
+            raise AssertionError(f"emit({ev!r}) called with tracing disabled")
+
+        monkeypatch.setattr(TraceEmitter, "emit", boom)
+        report = build_engine(_ping_scenario(), "sds").run()
+        assert report.total_states > 0
+
+    def test_disabled_tracing_allocates_nothing(self):
+        # The zero-allocation claim: with trace=None the hot path never
+        # enters the emitter module, so tracemalloc can attribute no
+        # allocation to it.  (repro.obs.metrics is exempt: the solver's
+        # query histogram is always-on by design and counts plain ints.)
+        engine = build_engine(_ping_scenario(), "sds")
+        events_file = os.path.join(
+            os.path.dirname(repro.obs.__file__), "events.py"
+        )
+        tracemalloc.start()
+        try:
+            engine.run()
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        offenders = [
+            stat
+            for stat in snapshot.statistics("lineno")
+            if stat.traceback[0].filename == events_file
+        ]
+        assert offenders == [], offenders
+
+
+class TestValidation:
+    def test_unknown_event_type_reported(self):
+        problems = validate_trace([{"ev": "bogus.event", "seq": 0}])
+        assert any("unknown type" in p for p in problems)
+
+    def test_missing_required_field_reported(self):
+        problems = validate_trace([{"ev": "packet.send", "seq": 0, "src": 1}])
+        assert any("missing fields" in p for p in problems)
+
+    def test_missing_seq_reported(self):
+        problems = validate_trace(
+            [{"ev": "net.broadcast", "src": 0, "targets": 3}]
+        )
+        assert problems == ["event 0 (net.broadcast): missing seq"]
+
+
+@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
+def test_all_mappers_emit_valid_traces(algorithm):
+    from repro.workloads import grid_scenario
+
+    trace = TraceEmitter()
+    build_engine(grid_scenario(3, sim_seconds=4), algorithm, trace=trace).run()
+    assert validate_trace(trace.events) == []
+    assert any(e["ev"] == "mapper.copy" for e in trace.events) or algorithm == "cob"

@@ -1,0 +1,85 @@
+"""The phase profiler: timing, re-entrancy, and snapshot merging."""
+
+import time
+
+from repro import build_engine
+from repro.obs import PhaseProfiler, merge_phase_snapshots
+from repro.workloads import flood_scenario
+
+
+class TestPhaseProfiler:
+    def test_phase_counts_and_times(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("solve"):
+            time.sleep(0.01)
+        with profiler.phase("solve"):
+            pass
+        snapshot = profiler.snapshot()
+        assert snapshot["solve"]["count"] == 2
+        assert snapshot["solve"]["seconds"] >= 0.01
+
+    def test_phase_handles_are_cached(self):
+        profiler = PhaseProfiler()
+        assert profiler.phase("map") is profiler.phase("map")
+
+    def test_reentrant_phase_counts_once_per_outermost_entry(self):
+        profiler = PhaseProfiler()
+        phase = profiler.phase("execute")
+        with phase:
+            with phase:  # nested re-entry must not double-count time
+                time.sleep(0.005)
+        snapshot = profiler.snapshot()
+        assert snapshot["execute"]["count"] == 1
+        assert 0.005 <= snapshot["execute"]["seconds"] < 5
+
+    def test_exception_still_stops_the_timer(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("solve"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert profiler.phase("solve")._depth == 0
+        with profiler.phase("solve"):
+            pass
+        assert profiler.snapshot()["solve"]["count"] == 2
+
+    def test_snapshot_sorted_by_name(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("zeta"):
+            pass
+        with profiler.phase("alpha"):
+            pass
+        assert list(profiler.snapshot()) == ["alpha", "zeta"]
+
+
+class TestMergeSnapshots:
+    def test_merge_sums_counts_and_seconds(self):
+        merged = merge_phase_snapshots(
+            [
+                {"execute": {"count": 2, "seconds": 1.0}},
+                {"execute": {"count": 3, "seconds": 0.5}, "solve": {"count": 1, "seconds": 0.1}},
+            ]
+        )
+        assert merged["execute"] == {"count": 5, "seconds": 1.5}
+        assert merged["solve"] == {"count": 1, "seconds": 0.1}
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_phase_snapshots([]) == {}
+
+
+class TestEngineIntegration:
+    def test_run_report_carries_phases(self):
+        report = build_engine(flood_scenario(3, rounds=2), "sds").run()
+        assert report.phases["execute"]["count"] == report.events_executed
+        assert "map" in report.phases
+        assert "solve" in report.phases
+        # map and solve nest inside execute, so execute dominates.
+        assert (
+            report.phases["execute"]["seconds"]
+            >= report.phases["map"]["seconds"]
+        )
+
+    def test_summary_mentions_phases(self):
+        report = build_engine(flood_scenario(3, rounds=1), "sds").run()
+        assert "phase execute" in report.summary()

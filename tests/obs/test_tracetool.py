@@ -1,0 +1,99 @@
+"""Canonical multisets, trace diffing, and summaries."""
+
+from repro.obs import TraceDiff, canonical_multiset, diff_traces, summarize_trace
+from repro.obs.tracetool import canonical_event, render_summary
+
+
+def _send(src, dest, t, pid, seq, worker=None):
+    event = {
+        "ev": "packet.send",
+        "src": src,
+        "dest": dest,
+        "t": t,
+        "bcast": False,
+        "pid": pid,
+        "seq": seq,
+    }
+    if worker is not None:
+        event["worker"] = worker
+    return event
+
+
+class TestCanonicalEvent:
+    def test_volatile_fields_dropped(self):
+        a = _send(0, 1, 10, pid=5, seq=0)
+        b = _send(0, 1, 10, pid=99, seq=42, worker=3)
+        assert canonical_event(a) == canonical_event(b)
+
+    def test_semantic_fields_kept(self):
+        a = _send(0, 1, 10, pid=5, seq=0)
+        b = _send(0, 2, 10, pid=5, seq=0)  # different destination
+        assert canonical_event(a) != canonical_event(b)
+
+    def test_meta_events_excluded_from_multiset(self):
+        events = [
+            {"ev": "run.start", "algorithm": "sds", "seq": 0},
+            {"ev": "worker.merge", "workers": 2, "seq": 1},
+            _send(0, 1, 10, pid=1, seq=2),
+        ]
+        multiset = canonical_multiset(events)
+        assert sum(multiset.values()) == 1
+
+
+class TestDiffTraces:
+    def test_equal_traces(self):
+        a = [_send(0, 1, 10, pid=1, seq=0), _send(1, 0, 20, pid=2, seq=1)]
+        b = [_send(1, 0, 20, pid=7, seq=0), _send(0, 1, 10, pid=8, seq=1)]
+        diff = diff_traces(a, b)
+        assert diff.equal
+        assert diff.render() == "traces are semantically identical"
+
+    def test_differing_traces_rendered_per_side(self):
+        a = [_send(0, 1, 10, pid=1, seq=0)]
+        b = [_send(0, 1, 30, pid=1, seq=0)]
+        diff = diff_traces(a, b)
+        assert not diff.equal
+        rendered = diff.render()
+        assert "only in A" in rendered and "only in B" in rendered
+
+    def test_multiplicity_matters(self):
+        one = [_send(0, 1, 10, pid=1, seq=0)]
+        two = one + [_send(0, 1, 10, pid=2, seq=1)]
+        diff = diff_traces(one, two)
+        assert not diff.equal
+        assert sum(diff.only_b.values()) == 1
+
+    def test_trace_diff_direct_construction(self):
+        assert TraceDiff(
+            canonical_multiset([]), canonical_multiset([])
+        ).equal
+
+
+class TestSummarize:
+    def test_summary_aggregates(self):
+        events = [
+            {"ev": "run.start", "algorithm": "sds", "nodes": 2, "seq": 0},
+            _send(0, 1, 10, pid=1, seq=1),
+            {
+                "ev": "packet.deliver",
+                "node": 1,
+                "src": 0,
+                "t": 11,
+                "pid": 1,
+                "sid": 4,
+                "seq": 2,
+                "worker": 0,
+            },
+        ]
+        summary = summarize_trace(events)
+        assert summary["events"] == 3
+        assert summary["by_type"]["packet.send"] == 1
+        assert summary["nodes"] == 1  # only packet.deliver carries "node"
+        assert summary["virtual_ms"] == 11
+        assert summary["workers"] == [0]
+
+    def test_render_mentions_counts(self):
+        summary = summarize_trace([_send(0, 1, 10, pid=1, seq=0)])
+        rendered = render_summary(summary)
+        assert "packet.send" in rendered
+        assert "1 events" in rendered

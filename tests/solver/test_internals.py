@@ -3,7 +3,7 @@ propagation details."""
 
 import pytest
 
-from repro.expr import Interval, add, bv, bvand, eq, mul, ne, not_, ule, ult, var
+from repro.expr import Interval, add, bv, bvand, eq, mul, ne, ule, ult, var
 from repro.solver import (
     Infeasible,
     Model,

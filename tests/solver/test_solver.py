@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.expr import (
     add,
-    and_,
     bv,
     bvand,
     bvxor,

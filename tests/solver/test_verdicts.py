@@ -15,7 +15,6 @@ from repro.expr import (
     ite,
     neg,
     signed_extrema,
-    sle,
     slt,
     to_signed,
     var,

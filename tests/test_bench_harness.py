@@ -3,7 +3,6 @@
 import io
 
 from repro.bench import (
-    BenchRow,
     full_scale,
     log_sparkline,
     render_series,

@@ -1,7 +1,6 @@
 """Symbolic execution tests: forking, path constraints, error detection,
 and concrete replay of generated models (the KLEE test-case property)."""
 
-import pytest
 
 from repro.expr import evaluate
 from repro.lang import compile_source

@@ -8,7 +8,6 @@ symbolic VM and exercises deep interactions between the interpreter, the
 path-constraint machinery and the solver.
 """
 
-from repro.expr import evaluate
 from repro.lang import compile_source
 from repro.solver import Solver
 from repro.vm import Executor, Status

@@ -1,6 +1,5 @@
 """Trickle-like dissemination: protocol behaviour + SDE properties."""
 
-import pytest
 
 from repro import build_engine
 from repro.core import dscenario_fingerprints

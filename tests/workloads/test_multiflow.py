@@ -1,6 +1,5 @@
 """Multi-flow grid scenarios (two sources converging on one sink)."""
 
-import pytest
 
 from repro import build_engine
 from repro.core import dscenario_fingerprints
