@@ -49,11 +49,36 @@ def _parse_scenario(spec: str, sim_seconds: int) -> Scenario:
     raise SystemExit(f"unknown scenario kind {kind!r}")
 
 
-def _run_report(scenario, algorithm, args, **caps):
-    """One run — parallel when ``--workers`` was given, sequential otherwise."""
+def _checkpoint_overrides(args) -> dict:
+    """Engine overrides for ``--checkpoint-out`` / ``--checkpoint-every``."""
+    checkpoint_out = getattr(args, "checkpoint_out", None)
+    if not checkpoint_out:
+        return {}
+    return dict(
+        checkpoint_path=checkpoint_out,
+        checkpoint_every_events=getattr(args, "checkpoint_every", None) or 500,
+        checkpoint_every_seconds=getattr(
+            args, "checkpoint_every_seconds", None
+        ),
+    )
+
+
+def _emit_artifacts(report, trace, args):
+    """Write the trace/metrics artifacts a run was asked for (atomic)."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    trace = TraceEmitter() if trace_out else None
+    if trace is not None:
+        trace.dump(trace_out)
+        print(f"trace written to {trace_out} ({len(trace)} events)")
+    if metrics_out is not None:
+        save_metrics(report.metrics, metrics_out)
+        print(f"metrics written to {metrics_out}")
+
+
+def _run_report(scenario, algorithm, args, **caps):
+    """One run — parallel when ``--workers`` was given, sequential otherwise."""
+    trace = TraceEmitter() if getattr(args, "trace_out", None) else None
+    caps.update(_checkpoint_overrides(args))
     if args.workers is not None:
         from .core.parallel import ParallelRunner
 
@@ -63,38 +88,77 @@ def _run_report(scenario, algorithm, args, **caps):
             workers=args.workers,
             split_ms=args.split_ms,
             trace=trace,
+            max_retries=getattr(args, "max_retries", None),
+            allow_partial=getattr(args, "allow_partial", None),
+            task_timeout_seconds=getattr(args, "task_timeout", None),
             **caps,
         ).run()
     else:
         engine = build_engine(scenario, algorithm, trace=trace, **caps)
         report = engine.run()
-    if trace is not None:
-        trace.dump(trace_out)
-        print(f"trace written to {trace_out} ({len(trace)} events)")
-    if metrics_out is not None:
-        save_metrics(report.metrics, metrics_out)
-        print(f"metrics written to {metrics_out}")
+    _emit_artifacts(report, trace, args)
+    return report
+
+
+def _resume_report(args):
+    """Continue an aborted or killed run from a ``--checkpoint-out`` file."""
+    from .core.resilience import CheckpointError, resume_engine
+
+    trace = TraceEmitter() if getattr(args, "trace_out", None) else None
+    try:
+        engine = resume_engine(
+            args.resume, trace=trace, **_checkpoint_overrides(args)
+        )
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}") from exc
+    print(
+        f"resumed from {args.resume}"
+        f" ({engine.events_executed} events already executed)"
+    )
+    report = engine.run()
+    _emit_artifacts(report, trace, args)
     return report
 
 
 def _cmd_run(args) -> int:
-    scenario = _parse_scenario(args.scenario, args.sim_seconds)
-    report = _run_report(
-        scenario,
-        args.algorithm,
-        args,
-        max_states=args.max_states,
-        max_wall_seconds=args.max_wall_seconds,
-    )
-    row = BenchRow(scenario.name, report)
-    print(render_table1([row], f"{scenario.name} under {args.algorithm}"))
+    if args.resume:
+        report = _resume_report(args)
+        name = f"resume({args.resume})"
+    else:
+        if args.scenario is None:
+            raise SystemExit("a scenario is required unless --resume is given")
+        scenario = _parse_scenario(args.scenario, args.sim_seconds)
+        report = _run_report(
+            scenario,
+            args.algorithm,
+            args,
+            max_states=args.max_states,
+            max_wall_seconds=args.max_wall_seconds,
+        )
+        name = scenario.name
+    row = BenchRow(name, report)
+    print(render_table1([row], f"{name} under {report.algorithm}"))
     print(f"\nevents={row.events} instructions={row.instructions}"
           f" error-states={row.error_states}")
-    if args.workers is not None:
+    if args.workers is not None and hasattr(report, "partition_count"):
         print(
             f"workers={args.workers} partitions={report.partition_count}"
             f" prefix-events={report.prefix_events}"
             f" projected-speedup=x{report.projected:.2f}"
+        )
+        if report.retries:
+            print(f"worker-retries={report.retries}")
+    if getattr(report, "partial", False):
+        print(
+            f"PARTIAL: {len(report.failed_partitions)} partition(s) failed"
+            " after retries"
+        )
+        for failure in report.failed_partitions:
+            print(f"  - {failure.describe()}")
+    if getattr(report, "checkpoints_written", 0) and args.checkpoint_out:
+        print(
+            f"checkpoints written: {report.checkpoints_written}"
+            f" (latest: {args.checkpoint_out})"
         )
     if row.aborted:
         print(f"ABORTED: {row.abort_reason}")
@@ -208,7 +272,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one scenario")
-    run_parser.add_argument("scenario", help="grid:<side> | line:<k> | flood:<k>")
+    run_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="grid:<side> | line:<k> | flood:<k> (omit with --resume)",
+    )
     run_parser.add_argument("--algorithm", choices=ALGORITHMS, default="sds")
     run_parser.add_argument("--sim-seconds", type=int, default=10)
     run_parser.add_argument("--max-states", type=int, default=None)
@@ -237,6 +306,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="virtual-time split point for --workers (default: 30%% of horizon)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-out",
+        default=None,
+        help="write engine checkpoints to this path during the run",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="checkpoint every N executed events (default 500 with"
+        " --checkpoint-out)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every-seconds",
+        type=float,
+        default=None,
+        help="also checkpoint every T wall-clock seconds",
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        help="continue an aborted/killed run from a checkpoint file",
+    )
+    run_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per failed worker partition (default 2)",
+    )
+    run_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        default=None,
+        help="report partitions that exhaust retries instead of aborting",
+    )
+    run_parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-partition wall-clock budget in seconds (workers only)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 

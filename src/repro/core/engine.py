@@ -84,6 +84,9 @@ class RunReport:
         self.histograms = {
             "solver.query.conjuncts": engine.solver.conjunct_histogram.data(),
         }
+        # -- resilience extras ---------------------------------------------
+        self.checkpoints_written = getattr(engine, "checkpoints_written", 0)
+        self.resumed = getattr(engine, "resumed", False)
         self.metrics = report_snapshot(self)
 
     def peak_states(self) -> int:
@@ -141,6 +144,9 @@ class SDEEngine:
         sample_every_events: int = 64,
         max_steps_per_event: int = 1_000_000,
         trace: Optional[TraceEmitter] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every_events: Optional[int] = None,
+        checkpoint_every_seconds: Optional[float] = None,
     ) -> None:
         if isinstance(program, str):
             program = compile_source(program)
@@ -178,6 +184,16 @@ class SDEEngine:
         self.abort_reason = ""
         self._broadcast_ids = itertools.count(1)
         self._started = False
+        # Checkpointing (see repro.core.resilience): with a path set, the
+        # run loop snapshots itself every N events / T wall seconds so a
+        # killed run can continue via `repro run --resume`.
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every_events = checkpoint_every_events
+        self.checkpoint_every_seconds = checkpoint_every_seconds
+        self.checkpoints_written = 0
+        self.resumed = False
+        self._last_checkpoint_events = 0
+        self._last_checkpoint_elapsed = 0.0
         self.stats = StatsRecorder(
             len(program.code), sample_every_events=sample_every_events
         )
@@ -336,12 +352,55 @@ class SDEEngine:
             with self._phase_execute:
                 self._dispatch(state, event)
             self.events_executed += 1
+            if self._checkpoint_due():
+                self.write_checkpoint()
             if self.stats.should_sample(self.events_executed):
                 self._sample_and_check_caps()
             if self.check_invariants:
                 self.mapper.check_invariants()
             if self.aborted:
                 break
+
+    # -- checkpointing (repro.core.resilience) ---------------------------------
+
+    def _checkpoint_due(self) -> bool:
+        if self.checkpoint_path is None:
+            return False
+        if (
+            self.checkpoint_every_events is not None
+            and self.events_executed - self._last_checkpoint_events
+            >= self.checkpoint_every_events
+        ):
+            return True
+        return (
+            self.checkpoint_every_seconds is not None
+            and self.stats.elapsed() - self._last_checkpoint_elapsed
+            >= self.checkpoint_every_seconds
+        )
+
+    def write_checkpoint(self, path: Optional[str] = None) -> str:
+        """Snapshot the full engine to disk (atomic, checksummed).
+
+        Safe between events: every state is quiescent and the scheduler
+        snapshot preserves the sequential pop order, the same property the
+        parallel runner's split point relies on.
+        """
+        from .resilience import save_checkpoint
+
+        target = path if path is not None else self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        save_checkpoint(self, target)
+        self.checkpoints_written += 1
+        self._last_checkpoint_events = self.events_executed
+        self._last_checkpoint_elapsed = self.stats.elapsed()
+        if self.trace is not None:
+            self.trace.emit(
+                "checkpoint.write",
+                events=self.events_executed,
+                path=str(target),
+            )
+        return str(target)
 
     def scheduler_snapshot(self) -> List[Tuple[int, int]]:
         """Pending work as ``(time, sid)`` pairs in deterministic pop order.

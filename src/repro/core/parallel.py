@@ -37,9 +37,10 @@ in-process, which is what the equivalence tests pin down.
 from __future__ import annotations
 
 import itertools
+import os
 import pickle
 import time as _time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..net.packet import ensure_packet_ids_above, packet_id_watermark
 from ..obs.events import TraceEmitter
@@ -49,6 +50,12 @@ from ..solver import Solver
 from ..vm.state import ensure_state_ids_above, state_id_watermark
 from .engine import RunReport, SDEEngine
 from .partition import Partition, lpt_assign, partition_groups, projected_speedup
+from .resilience import (
+    RetryPolicy,
+    WorkerFailure,
+    WorkerSupervisor,
+    chaos_kill_requested,
+)
 from .stats import (
     PROGRAM_IMAGE_COST_PER_INSTRUCTION,
     Sample,
@@ -222,15 +229,37 @@ def execute_task_bytes(payload: bytes) -> WorkerResult:
     return WorkerResult(task, report, engine.state_census(), events)
 
 
-def _worker_entry(payload: bytes, queue) -> None:  # pragma: no cover - subprocess
+def _worker_entry(
+    payload: bytes, queue, attempt: int = 0, task_index: int = -1
+) -> None:  # pragma: no cover - subprocess
+    """Subprocess target: run one task, ship the result or a typed failure.
+
+    Failures are shipped as a structured :class:`WorkerFailure` (exception
+    type name, message, formatted traceback, partition id) — never a bare
+    pickled exception, which would lose the original type and leave the
+    supervisor unable to attribute the failure to a partition.
+
+    ``SDE_CHAOS_KILL_WORKER`` (fault injection, CI's ``fault-smoke`` job)
+    makes every first attempt die unreported, like an OOM kill would.
+    """
+    if attempt == 0 and chaos_kill_requested():
+        os._exit(137)
     try:
         queue.put(pickle.dumps(execute_task_bytes(payload)))
     except BaseException as exc:
         import traceback
 
-        queue.put(pickle.dumps(RuntimeError(
-            f"parallel worker failed: {exc}\n{traceback.format_exc()}"
-        )))
+        queue.put(
+            pickle.dumps(
+                WorkerFailure(
+                    task_index=task_index,
+                    kind="exception",
+                    message=str(exc),
+                    exc_type=type(exc).__name__,
+                    traceback=traceback.format_exc(),
+                )
+            )
+        )
 
 
 def _sum_dicts(parts: Sequence[Dict[str, int]]) -> Dict[str, int]:
@@ -262,6 +291,8 @@ class ParallelReport:
         split_ms: Optional[int],
         split_events: Optional[int],
         runtime_seconds: float,
+        failed_partitions: Sequence[WorkerFailure] = (),
+        retries: int = 0,
     ) -> None:
         merge_started = _time.perf_counter()
         self.algorithm = prefix.algorithm
@@ -275,6 +306,15 @@ class ParallelReport:
             projected_speedup(partitions, workers) if partitions else 1.0
         )
         self.runtime_seconds = runtime_seconds
+        # Resilience: partitions that exhausted their retries (only under
+        # --allow-partial; otherwise the run raised) and the retry count.
+        # A report with failed partitions is *partial*: its totals cover
+        # the prefix plus the surviving partitions only.
+        self.failed_partitions = list(failed_partitions)
+        self.retries = retries
+        self.partial = bool(self.failed_partitions)
+        self.checkpoints_written = getattr(prefix, "checkpoints_written", 0)
+        self.resumed = getattr(prefix, "resumed", False)
 
         results = self.worker_results
         self.aborted = prefix.aborted or any(w.aborted for w in results)
@@ -408,13 +448,22 @@ class ParallelReport:
             f"  error states     : {len(self.error_states)}",
             f"  solver queries   : {self.solver_queries}",
         ]
+        if self.retries:
+            lines.append(f"  worker retries   : {self.retries}")
+        if self.partial:
+            lines.append(
+                f"  PARTIAL: {len(self.failed_partitions)} partition(s)"
+                " failed after retries"
+            )
+            for failure in self.failed_partitions:
+                lines.append(f"    - {failure.describe()}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (
             f"ParallelReport({self.algorithm}, workers={self.workers},"
             f" states={self.total_states}, groups={self.group_count},"
-            f" aborted={self.aborted})"
+            f" aborted={self.aborted}, partial={self.partial})"
         )
 
 
@@ -430,6 +479,10 @@ class ParallelRunner:
         split_events: Optional[int] = None,
         start_method: Optional[str] = None,
         trace: Optional[TraceEmitter] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: Optional[bool] = None,
+        task_timeout_seconds: Optional[float] = None,
         **engine_overrides,
     ) -> None:
         if workers < 1:
@@ -437,6 +490,21 @@ class ParallelRunner:
         self.scenario = scenario
         self.algorithm = algorithm
         self.workers = workers
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
+        # Convenience overrides so callers (the CLI) don't need to build a
+        # full RetryPolicy for the common knobs.
+        replacements = {}
+        if max_retries is not None:
+            replacements["max_retries"] = max_retries
+        if allow_partial is not None:
+            replacements["allow_partial"] = allow_partial
+        if task_timeout_seconds is not None:
+            replacements["task_timeout_seconds"] = task_timeout_seconds
+        if replacements:
+            import dataclasses
+
+            policy = dataclasses.replace(policy, **replacements)
+        self.retry_policy = policy
         # Default split: 30% of the horizon — late enough that the scenario's
         # partition structure has formed, early enough that the sequential
         # prefix stays a small Amdahl term.
@@ -472,10 +540,10 @@ class ParallelRunner:
                 states=sum(p.state_count() for p in partitions),
             )
         if tasks:
-            results = self._execute(tasks)
+            results, failed, retries = self._execute(tasks)
             results.sort(key=lambda w: w.index)
         else:
-            results = []
+            results, failed, retries = [], [], 0
         if self.trace is not None:
             for worker in results:
                 self.trace.extend(worker.events)
@@ -492,6 +560,8 @@ class ParallelRunner:
             split_ms=self.split_ms,
             split_events=self.split_events,
             runtime_seconds=_time.perf_counter() - started,
+            failed_partitions=failed,
+            retries=retries,
         )
 
     # -- internals -------------------------------------------------------------
@@ -508,6 +578,7 @@ class ParallelRunner:
         broadcast_watermark = next(engine._broadcast_ids)
 
         tasks: List[WorkerTask] = []
+        self._task_meta: Dict[int, Tuple[Tuple[int, ...], int]] = {}
         for index, core_partitions in enumerate(assignment):
             if not core_partitions:
                 continue  # fewer partitions than workers
@@ -519,6 +590,7 @@ class ParallelRunner:
             sids = set()
             for partition in core_partitions:
                 sids.update(partition.state_sids)
+            self._task_meta[index] = (tuple(group_indices), len(sids))
             tasks.append(
                 WorkerTask(
                     index=index,
@@ -548,12 +620,30 @@ class ParallelRunner:
             )
         return tasks
 
-    def _execute(self, tasks: List[WorkerTask]) -> List[WorkerResult]:
-        payloads = [pickle.dumps(task) for task in tasks]
+    def _execute(
+        self, tasks: List[WorkerTask]
+    ) -> Tuple[List[WorkerResult], List[WorkerFailure], int]:
+        """Run tasks on workers; returns (results, failed partitions, retries).
+
+        Supervised (see :class:`repro.core.resilience.WorkerSupervisor`):
+        the result queue is polled with a bounded timeout, dead workers are
+        detected via ``Process.is_alive()``/exitcode instead of deadlocking
+        a blocking ``queue.get()``, failed partitions are retried with
+        deterministic backoff, and completed partitions survive another
+        partition's failure.
+        """
+        payloads = {task.index: pickle.dumps(task) for task in tasks}
         if self.workers == 1 or len(payloads) == 1:
             # Same pickle round-trip, current process: identical semantics,
-            # no fork/spawn overhead.
-            return [execute_task_bytes(payload) for payload in payloads]
+            # no fork/spawn overhead — and nothing to supervise.
+            return (
+                [
+                    execute_task_bytes(payload)
+                    for _, payload in sorted(payloads.items())
+                ],
+                [],
+                0,
+            )
 
         import multiprocessing
 
@@ -564,23 +654,13 @@ class ParallelRunner:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context("spawn")
-        queue = context.Queue()
-        processes = [
-            context.Process(target=_worker_entry, args=(payload, queue))
-            for payload in payloads
-        ]
-        for process in processes:
-            process.start()
-        results: List[WorkerResult] = []
-        failure: Optional[BaseException] = None
-        for _ in processes:
-            outcome = pickle.loads(queue.get())
-            if isinstance(outcome, BaseException):
-                failure = failure or outcome
-            else:
-                results.append(outcome)
-        for process in processes:
-            process.join()
-        if failure is not None:
-            raise failure
-        return results
+        supervisor = WorkerSupervisor(
+            payloads=payloads,
+            context=context,
+            entry=_worker_entry,
+            run_inline=execute_task_bytes,
+            policy=self.retry_policy,
+            task_meta=getattr(self, "_task_meta", None),
+            trace=self.trace,
+        )
+        return supervisor.run()

@@ -46,6 +46,17 @@ def report_to_dict(report: RunReport, include_series: bool = True) -> Dict:
             for name, data in report.phases.items()
         },
         "metrics": report.metrics,
+        # Additive in schema 1: resilience status (docs/RESILIENCE.md) —
+        # partial runs list the partitions that exhausted their retries
+        # with enough information to rerun them.
+        "partial": bool(getattr(report, "partial", False)),
+        "resumed": bool(getattr(report, "resumed", False)),
+        "checkpoints_written": getattr(report, "checkpoints_written", 0),
+        "retries": getattr(report, "retries", 0),
+        "failed_partitions": [
+            failure.as_dict()
+            for failure in getattr(report, "failed_partitions", ())
+        ],
         "errors": [
             {
                 "kind": state.error.kind,
@@ -74,10 +85,12 @@ def report_to_dict(report: RunReport, include_series: bool = True) -> Dict:
 
 
 def save_report(report: RunReport, path, include_series: bool = True) -> None:
-    """Write a run report as pretty-printed JSON."""
-    with open(path, "w") as handle:
-        json.dump(report_to_dict(report, include_series), handle, indent=2)
-        handle.write("\n")
+    """Write a run report as pretty-printed JSON (atomically)."""
+    from ..obs.fileio import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps(report_to_dict(report, include_series), indent=2) + "\n"
+    )
 
 
 def load_report_dict(path) -> Dict:

@@ -1,0 +1,690 @@
+"""Fault tolerance for SDE runs: supervision, retry, checkpoint/resume.
+
+The paper's headline experiments run for hours (Table I's COB run went
+9h39m before aborting at the memory cap).  At that scale three failure
+modes dominate, and this module answers each:
+
+1. **Worker loss** — a partition worker OOM-killed or SIGKILL'd dies
+   without enqueueing a result.  :class:`WorkerSupervisor` replaces the
+   parallel runner's blocking queue drain with a bounded poll that
+   detects dead processes (``Process.is_alive()`` + exitcode), enforces a
+   per-partition wall-clock budget, and classifies every failure in a
+   typed :class:`WorkerFailure` that preserves the original traceback.
+2. **Transient failures** — failed partitions are requeued with
+   deterministic seeded exponential backoff (:class:`RetryPolicy`; no
+   wall-clock reads feed any retry *decision*), and the final attempt for
+   crash/exception failures runs in-process, which is immune to process
+   loss.  With ``allow_partial`` the run degrades gracefully: exhausted
+   partitions are reported (with enough information to rerun them)
+   instead of aborting the whole run.
+3. **Run loss** — :func:`save_checkpoint` serializes a mid-run engine
+   (mapper payload, scheduler entries, id watermarks, counters, metrics
+   baselines, trace position) to disk atomically with a versioned header
+   and an integrity checksum; :func:`resume_engine` rebuilds the engine
+   so the completed run's report is identical to an uninterrupted one on
+   every deterministic field.
+
+The checkpoint payload deliberately reuses the picklable snapshot
+machinery built for parallel execution (``snapshot_groups`` /
+``restore_groups``, scheduler snapshots, id watermarks): a checkpoint is
+morally a :class:`~repro.core.parallel.WorkerTask` covering *all*
+partitions, plus the counter baselines a worker does not need because the
+merge re-adds them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import pickle
+import queue as queue_module
+import random
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs.fileio import atomic_write_bytes
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "RetryPolicy",
+    "WorkerFailure",
+    "WorkerSupervisor",
+    "WorkerTaskError",
+    "chaos_kill_requested",
+    "load_checkpoint",
+    "resume_engine",
+    "save_checkpoint",
+]
+
+
+# ---------------------------------------------------------------------------
+# Failure classification
+# ---------------------------------------------------------------------------
+
+#: kinds a worker attempt can fail with
+FAILURE_KINDS = ("crash", "exception", "timeout")
+
+
+class WorkerFailure:
+    """One classified partition failure — picklable and JSON-able.
+
+    ``kind`` is ``"crash"`` (process died without reporting), ``"exception"``
+    (worker raised; ``exc_type``/``traceback`` carry the original), or
+    ``"timeout"`` (per-partition wall-clock budget exceeded).  The record
+    keeps the partition's group indices and state count so an exhausted
+    partition can be re-run later from the same snapshot.
+    """
+
+    __slots__ = (
+        "task_index",
+        "kind",
+        "exc_type",
+        "message",
+        "traceback",
+        "exitcode",
+        "attempts",
+        "group_indices",
+        "state_count",
+    )
+
+    def __init__(
+        self,
+        task_index: int,
+        kind: str,
+        message: str,
+        exc_type: str = "",
+        traceback: str = "",
+        exitcode: Optional[int] = None,
+        attempts: int = 0,
+        group_indices: Tuple[int, ...] = (),
+        state_count: int = 0,
+    ) -> None:
+        if kind not in FAILURE_KINDS:
+            raise ValueError(f"unknown failure kind {kind!r}")
+        self.task_index = task_index
+        self.kind = kind
+        self.exc_type = exc_type
+        self.message = message
+        self.traceback = traceback
+        self.exitcode = exitcode
+        self.attempts = attempts
+        self.group_indices = tuple(group_indices)
+        self.state_count = state_count
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def as_dict(self) -> dict:
+        """JSON form used by report serialization."""
+        return {
+            "task_index": self.task_index,
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "exitcode": self.exitcode,
+            "attempts": self.attempts,
+            "group_indices": list(self.group_indices),
+            "state_count": self.state_count,
+        }
+
+    def describe(self) -> str:
+        origin = f" [{self.exc_type}]" if self.exc_type else ""
+        return (
+            f"partition {self.task_index} {self.kind}{origin} after"
+            f" {self.attempts} attempt(s): {self.message}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerFailure(task={self.task_index}, kind={self.kind},"
+            f" attempts={self.attempts})"
+        )
+
+
+class WorkerTaskError(RuntimeError):
+    """A partition exhausted its retries (and the run is not --allow-partial).
+
+    ``failure`` is the final :class:`WorkerFailure`; the original worker
+    traceback is chained as ``__cause__`` so pytest/tracebacks show it.
+    """
+
+    def __init__(self, failure: WorkerFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+class _RemoteTraceback(Exception):
+    """Carrier for a worker's formatted traceback (chained as __cause__)."""
+
+    def __init__(self, text: str) -> None:
+        super().__init__(f"\n--- worker traceback ---\n{text}")
+
+
+def raise_worker_failure(failure: WorkerFailure) -> None:
+    """Raise :class:`WorkerTaskError`, chaining the worker traceback."""
+    error = WorkerTaskError(failure)
+    if failure.traceback:
+        raise error from _RemoteTraceback(failure.traceback)
+    raise error
+
+
+def chaos_kill_requested() -> bool:
+    """Fault-injection hook: ``SDE_CHAOS_KILL_WORKER`` truthy in the env.
+
+    When set, every worker's *first* attempt dies via ``os._exit`` before
+    enqueueing a result — indistinguishable from an OOM-kill from the
+    supervisor's point of view.  Retries (attempt > 0) run normally, so a
+    chaos run must complete with results identical to an unfaulted run.
+    CI's ``fault-smoke`` job is built on this.
+    """
+    value = os.environ.get("SDE_CHAOS_KILL_WORKER", "")
+    return value.lower() not in ("", "0", "false", "no")
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed partitions are retried.
+
+    All retry *decisions* are pure functions of (seed, task, attempt) —
+    no wall-clock reads — so a rerun makes identical choices.  The only
+    clock use is the optional per-partition wall budget, which is
+    explicitly a wall-clock cap, and the backoff *sleeps* themselves.
+    """
+
+    #: retries after the first attempt; total attempts = max_retries + 1
+    max_retries: int = 2
+    #: first retry delay; doubles (factor) per further retry
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    #: deterministic jitter fraction added on top of the exponential delay
+    backoff_jitter: float = 0.25
+    #: seeds the jitter PRNG (never wall-clock)
+    seed: int = 0
+    #: result-queue poll granularity; bounds worker-death detection latency
+    poll_interval_seconds: float = 0.05
+    #: per-partition wall-clock budget; None disables timeout detection
+    task_timeout_seconds: Optional[float] = None
+    #: report exhausted partitions instead of raising
+    allow_partial: bool = False
+
+    def backoff_seconds(self, task_index: int, attempt: int) -> float:
+        """Deterministic exponential backoff with seeded jitter."""
+        if attempt <= 0:
+            return 0.0
+        base = self.backoff_base_seconds * (
+            self.backoff_factor ** (attempt - 1)
+        )
+        rng = random.Random(f"{self.seed}:{task_index}:{attempt}")
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+
+# ---------------------------------------------------------------------------
+# Worker supervision
+# ---------------------------------------------------------------------------
+
+
+class _Attempt:
+    """One in-flight subprocess attempt at a partition."""
+
+    __slots__ = ("task_index", "process", "attempt", "deadline")
+
+    def __init__(self, task_index, process, attempt, deadline) -> None:
+        self.task_index = task_index
+        self.process = process
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class WorkerSupervisor:
+    """Drives partition tasks to completion across worker failures.
+
+    Replaces the old blocking ``for _ in processes: queue.get()`` drain,
+    which deadlocked forever if any worker died without reporting and
+    threw away all completed partitions on the first worker exception.
+
+    ``payloads`` maps task index -> pickled task bytes; ``entry`` is the
+    subprocess target ``(payload, queue, attempt, task_index)``;
+    ``run_inline`` executes a payload in the current process (the final
+    fallback for crash/exception failures — immune to process loss);
+    ``task_meta`` maps task index -> ``(group_indices, state_count)`` for
+    failure records.
+    """
+
+    def __init__(
+        self,
+        payloads: Dict[int, bytes],
+        context,
+        entry: Callable,
+        run_inline: Callable[[bytes], object],
+        policy: RetryPolicy,
+        task_meta: Optional[Dict[int, Tuple[Tuple[int, ...], int]]] = None,
+        trace=None,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> None:
+        self.payloads = dict(payloads)
+        self.context = context
+        self.entry = entry
+        self.run_inline = run_inline
+        self.policy = policy
+        self.task_meta = dict(task_meta or {})
+        self.trace = trace
+        self.sleep = sleep
+
+        self.queue = context.Queue()
+        self.results: List[object] = []
+        self.failed: List[WorkerFailure] = []
+        self.retries = 0
+        self._running: Dict[int, _Attempt] = {}
+        self._attempts: Dict[int, int] = {index: 0 for index in self.payloads}
+        self._resolved: set = set()
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> Tuple[List[object], List[WorkerFailure], int]:
+        """Execute every task; returns (results, failed, retry count).
+
+        Raises :class:`WorkerTaskError` when a partition exhausts its
+        retries and the policy does not allow partial results.  Remaining
+        workers are terminated on the way out in that case.
+        """
+        try:
+            for index in sorted(self.payloads):
+                self._launch(index, attempt=0)
+            while len(self._resolved) < len(self.payloads):
+                if not self._drain_one(self.policy.poll_interval_seconds):
+                    self._scan_processes()
+            return self.results, self.failed, self.retries
+        finally:
+            self._shutdown()
+
+    # -- internals ----------------------------------------------------------
+
+    def _launch(self, index: int, attempt: int) -> None:
+        process = self.context.Process(
+            target=self.entry,
+            args=(self.payloads[index], self.queue, attempt, index),
+        )
+        process.start()
+        deadline = None
+        if self.policy.task_timeout_seconds is not None:
+            deadline = _time.monotonic() + self.policy.task_timeout_seconds
+        self._running[index] = _Attempt(index, process, attempt, deadline)
+
+    def _drain_one(self, timeout: float) -> bool:
+        """Handle one queued outcome; False when the queue stayed empty."""
+        try:
+            blob = self.queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return False
+        outcome = pickle.loads(blob)
+        if isinstance(outcome, WorkerFailure):
+            if outcome.task_index not in self._resolved:
+                self._handle_failure(outcome.task_index, outcome)
+        else:
+            index = outcome.index
+            if index not in self._resolved:
+                self._resolved.add(index)
+                self.results.append(outcome)
+                attempt = self._running.pop(index, None)
+                if attempt is not None:
+                    attempt.process.join()
+        return True
+
+    def _scan_processes(self) -> None:
+        """Detect dead and over-budget workers (bounded, never blocking)."""
+        now = _time.monotonic()
+        for index, attempt in list(self._running.items()):
+            if index in self._resolved:
+                continue
+            process = attempt.process
+            if not process.is_alive():
+                # The feeder thread flushes before exit, so a result from
+                # this worker would already be queued; drain once more
+                # before declaring the worker lost.
+                if self._drain_one(self.policy.poll_interval_seconds):
+                    return  # re-scan next loop iteration with fresh state
+                process.join()
+                self._handle_failure(
+                    index,
+                    self._make_failure(
+                        index,
+                        "crash",
+                        f"worker process died without reporting a result"
+                        f" (exitcode {process.exitcode})",
+                        exitcode=process.exitcode,
+                    ),
+                )
+            elif attempt.deadline is not None and now > attempt.deadline:
+                process.terminate()
+                process.join()
+                self._handle_failure(
+                    index,
+                    self._make_failure(
+                        index,
+                        "timeout",
+                        f"partition exceeded its wall-clock budget of"
+                        f" {self.policy.task_timeout_seconds}s",
+                        exitcode=process.exitcode,
+                    ),
+                )
+
+    def _make_failure(self, index, kind, message, **extra) -> WorkerFailure:
+        groups, states = self.task_meta.get(index, ((), 0))
+        return WorkerFailure(
+            task_index=index,
+            kind=kind,
+            message=message,
+            group_indices=groups,
+            state_count=states,
+            **extra,
+        )
+
+    def _handle_failure(self, index: int, failure: WorkerFailure) -> None:
+        self._running.pop(index, None)
+        self._attempts[index] += 1
+        failure.attempts = self._attempts[index]
+        if not failure.group_indices and index in self.task_meta:
+            groups, states = self.task_meta[index]
+            failure.group_indices = groups
+            failure.state_count = states
+        if self.trace is not None:
+            self.trace.emit(
+                "worker.crash",
+                task=index,
+                kind=failure.kind,
+                exitcode=failure.exitcode,
+                attempt=failure.attempts,
+            )
+        if failure.attempts > self.policy.max_retries:
+            self._exhaust(index, failure)
+            return
+        self.retries += 1
+        delay = self.policy.backoff_seconds(index, failure.attempts)
+        if delay > 0:
+            self.sleep(delay)
+        if self.trace is not None:
+            self.trace.emit(
+                "worker.retry", task=index, attempt=failure.attempts
+            )
+        final = failure.attempts == self.policy.max_retries
+        if final and failure.kind != "timeout":
+            # Last chance: run in the supervisor's own process.  This is
+            # deterministic (same pickle round-trip as workers=1) and
+            # cannot be lost to a worker death.  Timeouts keep retrying in
+            # a subprocess — an in-process attempt could not be killed.
+            self._run_final_inline(index)
+        else:
+            self._launch(index, attempt=failure.attempts)
+
+    def _run_final_inline(self, index: int) -> None:
+        try:
+            result = self.run_inline(self.payloads[index])
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            import traceback as traceback_module
+
+            self._attempts[index] += 1
+            self._exhaust(
+                index,
+                self._make_failure(
+                    index,
+                    "exception",
+                    str(exc),
+                    exc_type=type(exc).__name__,
+                    traceback=traceback_module.format_exc(),
+                    attempts=self._attempts[index],
+                ),
+            )
+            return
+        self._resolved.add(index)
+        self.results.append(result)
+
+    def _exhaust(self, index: int, failure: WorkerFailure) -> None:
+        self._resolved.add(index)
+        if self.policy.allow_partial:
+            self.failed.append(failure)
+            return
+        raise_worker_failure(failure)
+
+    def _shutdown(self) -> None:
+        for attempt in self._running.values():
+            if attempt.process.is_alive():
+                attempt.process.terminate()
+            attempt.process.join()
+        self._running.clear()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / resume
+# ---------------------------------------------------------------------------
+
+CHECKPOINT_MAGIC = b"SDECKPT"
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint file is missing, corrupt, or incompatible."""
+
+
+def _engine_payload(engine) -> dict:
+    """Everything needed to rebuild ``engine`` mid-run, picklable."""
+    mapper = engine.mapper
+    return {
+        # -- WorkerTask-equivalent construction parameters ---------------
+        "algorithm": mapper.name,
+        "program": engine.program,
+        "topology": engine.topology,
+        "horizon_ms": engine.clock.horizon,
+        "failure_models": engine.failure_models,
+        "preset_globals": engine.preset_globals,
+        "latency_ms": engine.medium.latency_ms,
+        "boot_times": engine.boot_times,
+        "max_states": engine.max_states,
+        "max_accounted_bytes": engine.max_accounted_bytes,
+        "max_wall_seconds": engine.max_wall_seconds,
+        "sample_every_events": engine.stats._sample_every,
+        "max_steps_per_event": engine.executor.max_steps_per_event,
+        # -- execution frontier ------------------------------------------
+        "mapper_payload": mapper.snapshot_groups(range(mapper.group_count())),
+        "scheduler_entries": engine.scheduler_snapshot(),
+        "clock_now": engine.clock.now,
+        "state_watermark": _state_watermark(),
+        "packet_watermark": _packet_watermark(),
+        "broadcast_watermark": next(engine._broadcast_ids),
+        # -- counter baselines (so the resumed report matches) -----------
+        "events_executed": engine.events_executed,
+        "instructions": engine.executor.instructions_executed,
+        "solver_queries": engine.solver.queries,
+        "sat_results": engine.solver.sat_results,
+        "unsat_results": engine.solver.unsat_results,
+        "conjunct_histogram": engine.solver.conjunct_histogram.data(),
+        "mapping_stats": mapper.stats.as_dict(),
+        "net_stats": engine.medium.stats_dict(),
+        "cache_stats": engine.solver.cache_stats(),
+        "phases": engine.profiler.snapshot(),
+        "samples": list(engine.stats.samples),
+        "checkpoints_written": engine.checkpoints_written,
+        "trace_events": list(engine.trace.events)
+        if engine.trace is not None
+        else [],
+    }
+
+
+def _restore_histogram(histogram, data: dict) -> None:
+    """Load a :meth:`Histogram.data` dict back into a live histogram."""
+    if tuple(data["bounds"]) != histogram.bounds:
+        raise CheckpointError(
+            "checkpoint histogram bounds do not match this build"
+        )
+    histogram.buckets = list(data["buckets"])
+    histogram.count = data["count"]
+    histogram.total = data["total"]
+    histogram.min = data["min"]
+    histogram.max = data["max"]
+
+
+def _state_watermark() -> int:
+    from ..vm.state import state_id_watermark
+
+    return state_id_watermark()
+
+
+def _packet_watermark() -> int:
+    from ..net.packet import packet_id_watermark
+
+    return packet_id_watermark()
+
+
+def save_checkpoint(engine, path) -> dict:
+    """Serialize ``engine`` to ``path`` atomically; returns the header.
+
+    File layout: ``SDECKPT\\n<json header>\\n<pickle body>``.  The header
+    carries the format version, run coordinates, and a SHA-256 of the body
+    so truncated or bit-rotted checkpoints are rejected at load rather
+    than producing a silently wrong resume.
+    """
+    body = pickle.dumps(
+        _engine_payload(engine), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    header = {
+        "version": CHECKPOINT_VERSION,
+        "algorithm": engine.mapper.name,
+        "events_executed": engine.events_executed,
+        "clock_now": engine.clock.now,
+        "total_states": len(engine.states),
+        "sha256": hashlib.sha256(body).hexdigest(),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("ascii")
+    atomic_write_bytes(
+        path, CHECKPOINT_MAGIC + b"\n" + header_bytes + b"\n" + body
+    )
+    return header
+
+
+def load_checkpoint(path) -> Tuple[dict, dict]:
+    """Read and verify a checkpoint; returns ``(header, payload)``."""
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    magic, _, rest = raw.partition(b"\n")
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path} is not an SDE checkpoint")
+    header_bytes, _, body = rest.partition(b"\n")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise CheckpointError(f"{path}: corrupt checkpoint header") from exc
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {header.get('version')!r} is not"
+            f" supported (this build reads version {CHECKPOINT_VERSION});"
+            " re-run without --resume"
+        )
+    digest = hashlib.sha256(body).hexdigest()
+    if digest != header.get("sha256"):
+        raise CheckpointError(
+            f"{path}: integrity check failed (checkpoint truncated or"
+            " corrupted)"
+        )
+    return header, pickle.loads(body)
+
+
+def resume_engine(path, trace=None, **engine_overrides):
+    """Rebuild a mid-run engine from a checkpoint file.
+
+    The returned engine continues exactly where the checkpoint was taken:
+    same states, same scheduler order, same id watermarks, and counter
+    baselines restored in place so ``engine.run()`` yields a report whose
+    deterministic fields equal an uninterrupted run's.  ``engine_overrides``
+    may re-enable checkpointing on the resumed run (``checkpoint_path``,
+    ``checkpoint_every_events``, ...).
+    """
+    from ..net.packet import ensure_packet_ids_above
+    from ..solver import Solver
+    from ..vm.state import ensure_state_ids_above
+    from .engine import SDEEngine
+    from .scenario import make_mapper
+
+    _, payload = load_checkpoint(path)
+    mapper = make_mapper(payload["algorithm"])
+    params = dict(
+        program=payload["program"],
+        topology=payload["topology"],
+        mapper=mapper,
+        horizon_ms=payload["horizon_ms"],
+        failure_models=payload["failure_models"],
+        preset_globals=payload["preset_globals"],
+        latency_ms=payload["latency_ms"],
+        solver=Solver(),
+        boot_times=payload["boot_times"],
+        max_states=payload["max_states"],
+        max_accounted_bytes=payload["max_accounted_bytes"],
+        max_wall_seconds=payload["max_wall_seconds"],
+        sample_every_events=payload["sample_every_events"],
+        max_steps_per_event=payload["max_steps_per_event"],
+        trace=trace,
+    )
+    # Overrides win: a run aborted at a cap can be resumed with the cap
+    # raised (`resume_engine(path, max_states=None)`), or with
+    # checkpointing re-enabled on the resumed run.
+    params.update(engine_overrides)
+    engine = SDEEngine(**params)
+    engine._started = True  # the boot states live in the payload
+    mapper.restore_groups(payload["mapper_payload"])
+    for group in mapper.groups():
+        for states in group.values():
+            for state in states:
+                engine.states[state.sid] = state
+    engine.clock.advance_to(payload["clock_now"])
+    for event_time, sid in payload["scheduler_entries"]:
+        engine.scheduler.push(event_time, sid)
+    ensure_state_ids_above(payload["state_watermark"])
+    ensure_packet_ids_above(payload["packet_watermark"])
+    engine._broadcast_ids = itertools.count(
+        payload["broadcast_watermark"] + 1
+    )
+
+    # -- counter baselines: the resumed report must equal an uninterrupted
+    # run's on every deterministic field.
+    engine.events_executed = payload["events_executed"]
+    engine.executor.instructions_executed = payload["instructions"]
+    solver = engine.solver
+    solver.queries = payload["solver_queries"]
+    solver.sat_results = payload["sat_results"]
+    solver.unsat_results = payload["unsat_results"]
+    _restore_histogram(solver.conjunct_histogram, payload["conjunct_histogram"])
+    for slot, value in payload["mapping_stats"].items():
+        setattr(mapper.stats, slot, value)
+    for name, value in payload["net_stats"].items():
+        setattr(engine.medium, name, value)
+    if payload["cache_stats"] and solver._cache is not None:
+        for name, value in payload["cache_stats"].items():
+            setattr(solver._cache.stats, name, value)
+    for name, data in payload["phases"].items():
+        phase = engine.profiler.phase(name)
+        phase.count = data["count"]
+        phase.seconds = data["seconds"]
+    engine.stats.samples = list(payload["samples"])
+    engine.stats._last_sampled_at = payload["events_executed"]
+    engine.checkpoints_written = payload["checkpoints_written"]
+    engine.resumed = True
+    if trace is not None:
+        trace.extend(payload["trace_events"])
+        trace.emit("checkpoint.resume", events=engine.events_executed)
+    return engine

@@ -25,6 +25,7 @@ from .events import (
     TraceEmitter,
     load_trace,
 )
+from .fileio import atomic_write_bytes, atomic_write_text
 from .metrics import (
     METRICS_SCHEMA_VERSION,
     Counter,
@@ -50,6 +51,8 @@ __all__ = [
     "VOLATILE_FIELDS",
     "TraceEmitter",
     "load_trace",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "METRICS_SCHEMA_VERSION",
     "Counter",
     "Gauge",

@@ -54,8 +54,9 @@ VOLATILE_FIELDS = frozenset(
 )
 
 #: Events whose *presence* depends on the harness (worker count, split
-#: point), not on the simulated system.  The trace-diff tool skips them.
-META_EVENT_PREFIXES = ("worker.", "run.")
+#: point, checkpoint cadence, injected faults), not on the simulated
+#: system.  The trace-diff tool skips them.
+META_EVENT_PREFIXES = ("worker.", "run.", "checkpoint.")
 
 #: ``ev`` -> required non-volatile fields.  The schema is deliberately
 #: flat: one JSON object per line, primitive values only.
@@ -80,6 +81,11 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "run.end": frozenset(["algorithm", "events"]),
     "worker.partition.start": frozenset(["partitions", "states"]),
     "worker.merge": frozenset(["workers"]),
+    # resilience (meta events: fault injection / recovery is harness-side)
+    "worker.crash": frozenset(["task", "kind"]),
+    "worker.retry": frozenset(["task", "attempt"]),
+    "checkpoint.write": frozenset(["events"]),
+    "checkpoint.resume": frozenset(["events"]),
 }
 
 
@@ -120,11 +126,16 @@ class TraceEmitter:
         return True
 
     def dump(self, path) -> None:
-        """Write the trace as JSON Lines (one event object per line)."""
-        with open(path, "w") as handle:
-            for event in self.events:
-                handle.write(json.dumps(event, sort_keys=True))
-                handle.write("\n")
+        """Write the trace as JSON Lines (one event object per line).
+
+        The write is atomic (temp file + rename): a run killed during the
+        dump leaves either the previous trace or the complete new one.
+        """
+        from .fileio import atomic_write_text
+
+        lines = [json.dumps(event, sort_keys=True) for event in self.events]
+        lines.append("")  # trailing newline
+        atomic_write_text(path, "\n".join(lines))
 
 
 def load_trace(path) -> List[dict]:

@@ -1,0 +1,48 @@
+"""Atomic artifact writes: a killed run never leaves a truncated file.
+
+Every artifact the CLI persists — JSONL traces, metrics snapshots, JSON
+reports, engine checkpoints — goes through these helpers.  The contract:
+the destination path either keeps its previous content or holds the
+complete new content, never a prefix of it.  That is what makes
+checkpoint/resume trustworthy: a run killed mid-``--checkpoint-every``
+leaves the last *complete* checkpoint on disk, not a half-written pickle.
+
+Implementation is the classic temp-file-in-same-directory + ``os.replace``
+dance (``os.replace`` is atomic on POSIX and Windows when source and
+destination share a filesystem, which same-directory guarantees).  The
+temp file is fsync'd before the rename so the rename never outlives the
+data on a crash.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (all-or-nothing)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (all-or-nothing)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -260,10 +260,15 @@ def report_snapshot(report) -> dict:
     phases = getattr(report, "phases", {}) or {}
     for name, data in phases.items():
         counters[f"phase.{name}.count"] = data["count"]
+    counters["run.checkpoints_written"] = getattr(report, "checkpoints_written", 0)
     if hasattr(report, "workers"):
         counters["parallel.workers"] = report.workers
         counters["parallel.partitions"] = report.partition_count
         counters["parallel.prefix_events"] = report.prefix_events
+        counters["parallel.retries"] = getattr(report, "retries", 0)
+        counters["parallel.failed_partitions"] = len(
+            getattr(report, "failed_partitions", ())
+        )
     for name, value in counters.items():
         registry.counter(name).value = int(value)
 
@@ -273,6 +278,11 @@ def report_snapshot(report) -> dict:
         "run.accounted_bytes": report.accounted_bytes,
         "run.peak_states": report.peak_states(),
         "run.peak_accounted_bytes": report.peak_accounted_bytes(),
+        # Abort status as a gauge so dashboards can alert on it directly
+        # (the "aborted" label carries the same bit as a string).
+        "run.aborted": 1 if report.aborted else 0,
+        "run.partial": 1 if getattr(report, "partial", False) else 0,
+        "run.resumed": 1 if getattr(report, "resumed", False) else 0,
     }
     for name, data in phases.items():
         gauges[f"phase.{name}.seconds"] = round(data["seconds"], 6)
@@ -288,10 +298,10 @@ def report_snapshot(report) -> dict:
 
 
 def save_metrics(snapshot: dict, path) -> None:
-    """Write a metrics snapshot as pretty-printed JSON."""
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a metrics snapshot as pretty-printed JSON (atomically)."""
+    from .fileio import atomic_write_text
+
+    atomic_write_text(path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
 
 
 def validate_metrics(data) -> List[str]:

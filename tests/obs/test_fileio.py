@@ -1,0 +1,100 @@
+"""Atomic artifact writes: temp file + rename, no partial files ever.
+
+Every file the CLI produces (reports, traces, metrics snapshots,
+checkpoints) goes through :func:`repro.obs.fileio.atomic_write_bytes`.
+The contract: a reader never observes a half-written file — it sees
+either the previous content or the complete new content — and a failed
+write leaves no temp droppings behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import atomic_write_bytes, atomic_write_text
+
+
+def _entries(directory):
+    return sorted(p.name for p in directory.iterdir())
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, '{"ok": true}\n')
+        assert path.read_text() == '{"ok": true}\n'
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_after_success(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        for _ in range(3):
+            atomic_write_text(path, "content")
+        assert _entries(tmp_path) == ["artifact.json"]
+
+    def test_failed_replace_cleans_up_and_keeps_old_content(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "previous")
+
+        def boom(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_text(path, "next")
+        monkeypatch.undo()
+        # The old content survives and no temp file is left behind.
+        assert path.read_text() == "previous"
+        assert _entries(tmp_path) == ["artifact.json"]
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic_write_text(tmp_path / "absent" / "artifact.json", "x")
+
+
+class TestConsumersWriteAtomically:
+    def test_trace_dump_leaves_single_file(self, tmp_path):
+        from repro.obs import TraceEmitter, load_trace
+
+        trace = TraceEmitter()
+        trace.emit("run.start", algorithm="sds", nodes=4)
+        trace.emit("run.end", algorithm="sds", events=7)
+        path = tmp_path / "trace.jsonl"
+        trace.dump(path)
+        assert _entries(tmp_path) == ["trace.jsonl"]
+        assert path.read_text().endswith("\n")
+        assert [e["ev"] for e in load_trace(path)] == ["run.start", "run.end"]
+
+    def test_save_metrics_leaves_single_file(self, tmp_path):
+        import json
+
+        from repro.obs import save_metrics
+
+        path = tmp_path / "metrics.json"
+        save_metrics({"schema": 1, "counters": {}}, path)
+        assert _entries(tmp_path) == ["metrics.json"]
+        assert json.loads(path.read_text())["schema"] == 1
+
+    def test_save_report_leaves_single_file(self, tmp_path):
+        from repro.core.reporting import load_report_dict, save_report
+        from repro.core.scenario import build_engine
+        from repro.workloads import grid_scenario
+
+        report = build_engine(grid_scenario(3, sim_seconds=2), "sds").run()
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        assert _entries(tmp_path) == ["report.json"]
+        assert load_report_dict(path)["total_states"] == report.total_states

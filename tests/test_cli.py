@@ -57,3 +57,95 @@ class TestTestcases:
         out = capsys.readouterr().out
         assert "testcase" in out
         assert "drop" in out
+
+
+class TestResilienceCLI:
+    def _report(self, tmp_path, name, extra):
+        import json
+
+        path = tmp_path / name
+        code = main(
+            ["run", "grid:3", "--sim-seconds", "4", "--json", str(path)]
+            + extra
+        )
+        assert code == 0
+        return json.loads(path.read_text())
+
+    def test_checkpoint_then_resume_matches_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "run.sdeckpt"
+        baseline = self._report(tmp_path, "baseline.json", [])
+        checkpointed = self._report(
+            tmp_path,
+            "checkpointed.json",
+            ["--checkpoint-out", str(ckpt), "--checkpoint-every", "40"],
+        )
+        assert checkpointed["checkpoints_written"] >= 2
+        assert ckpt.exists()
+        out = capsys.readouterr().out
+        assert "checkpoints written" in out
+
+        resumed_path = tmp_path / "resumed.json"
+        assert main(
+            ["run", "--resume", str(ckpt), "--json", str(resumed_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        import json
+
+        resumed = json.loads(resumed_path.read_text())
+        assert resumed["resumed"] is True
+        for key in (
+            "total_states",
+            "group_count",
+            "events_executed",
+            "instructions",
+            "mapping_stats",
+            "errors",
+            "accounted_bytes",
+            "solver_queries",
+        ):
+            assert resumed[key] == baseline[key], key
+
+    def test_resume_rejects_corrupt_checkpoint(self, tmp_path):
+        ckpt = tmp_path / "bad.sdeckpt"
+        ckpt.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(SystemExit):
+            main(["run", "--resume", str(ckpt)])
+
+    def test_scenario_required_without_resume(self):
+        with pytest.raises(SystemExit, match="scenario"):
+            main(["run", "--sim-seconds", "2"])
+
+    def test_chaos_kill_recovers_and_reports_retries(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        baseline_path = tmp_path / "seq.json"
+        assert main(
+            ["run", "flood:4", "--sim-seconds", "6", "--json", str(baseline_path)]
+        ) == 0
+        monkeypatch.setenv("SDE_CHAOS_KILL_WORKER", "1")
+        chaos_path = tmp_path / "chaos.json"
+        assert main(
+            [
+                "run",
+                "flood:4",
+                "--sim-seconds",
+                "6",
+                "--workers",
+                "2",
+                "--json",
+                str(chaos_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worker-retries=" in out
+        baseline = json.loads(baseline_path.read_text())
+        chaos = json.loads(chaos_path.read_text())
+        assert chaos["retries"] >= 2
+        assert chaos["partial"] is False
+        for key in ("total_states", "events_executed", "instructions"):
+            assert chaos[key] == baseline[key], key
