@@ -9,9 +9,8 @@
    space grows combinatorially.  This quantifies how much.
 """
 
-from repro import Scenario, Topology, build_engine
+from repro.api import Scenario, Topology, build_engine
 from repro.bench.runner import run_one
-from repro.solver import Solver
 from repro.workloads import grid_scenario
 
 # Guest code that *branches on symbolic data* at every hop: this is what
@@ -56,7 +55,7 @@ class TestSolverCacheAblation:
             engine = build_engine(
                 _symbolic_chain_scenario(),
                 "sds",
-                solver=Solver(use_cache=use_cache),
+                solver_cache=use_cache,
             )
             import time
 
@@ -74,12 +73,13 @@ class TestSolverCacheAblation:
         # contract `repro run --metrics-out` writes — not solver internals.
         counters = cached_report.metrics["counters"]
         hits = (
-            counters["solver.cache.exact_hits"]
-            + counters["solver.cache.model_reuse_hits"]
+            counters["solver.cache.hit.exact"]
+            + counters["solver.cache.hit.cex"]
+            + counters["solver.cache.hit.model"]
         )
         assert hits > 0, "cache never hit on an SDE run"
         benchmark.extra_info["cache_hits"] = hits
-        benchmark.extra_info["cache_misses"] = counters["solver.cache.misses"]
+        benchmark.extra_info["cache_misses"] = counters["solver.cache.miss"]
         benchmark.extra_info["model_scan_steps"] = counters[
             "solver.cache.model_scan_steps"
         ]

@@ -8,7 +8,7 @@ the bound and its interpretation as an upper bound for all algorithms.
 
 import pytest
 
-from repro import Scenario, Topology, build_engine
+from repro.api import Scenario, Topology, build_engine
 from repro.core.complexity import (
     dscenario_tree_size,
     instructions_to_reach,

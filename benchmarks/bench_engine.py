@@ -5,9 +5,8 @@ bytecode dispatch rate, fork cost, solver query rate.  Regressions here
 would silently stretch every Table-I/Figure-10 run.
 """
 
-from repro import build_engine
+from repro.api import Solver, build_engine
 from repro.lang import compile_source
-from repro.solver import Solver
 from repro.vm import Executor
 from repro.workloads import grid_scenario
 

@@ -14,7 +14,7 @@ explosion, (3) explode-after-SDS is far cheaper than executing COB.
 
 import time
 
-from repro import build_engine
+from repro.api import build_engine
 from repro.core import explosion_count, generate_incrementally, iter_dscenarios
 from repro.workloads import grid_scenario
 

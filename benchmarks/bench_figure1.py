@@ -2,7 +2,7 @@
 ``x==0 / x<50 / x>10`` program and generates one concrete test case each."""
 
 from repro.lang import compile_source
-from repro.solver import Solver
+from repro.api import Solver
 from repro.vm import Executor, Status
 
 FIGURE1 = """

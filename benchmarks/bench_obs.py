@@ -14,7 +14,7 @@ path at all) is asserted separately, in
 
 import time
 
-from repro import build_engine
+from repro.api import build_engine
 from repro.obs import TraceEmitter
 from repro.workloads import grid_scenario
 

@@ -8,7 +8,7 @@ invocations such an optimizer could have skipped on a finished run.
 
 import pytest
 
-from repro import build_engine
+from repro.api import build_engine
 from repro.core import analyze_equal_packets
 from repro.workloads import grid_scenario, line_scenario
 

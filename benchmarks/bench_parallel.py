@@ -24,8 +24,7 @@ import time
 
 import pytest
 
-from repro import build_engine
-from repro.core.parallel import ParallelRunner
+from repro.api import ParallelRunner, build_engine
 from repro.workloads import grid_scenario
 
 

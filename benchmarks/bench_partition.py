@@ -12,7 +12,7 @@ that saves memory costs parallelism, a trade-off worth quantifying.
 
 import pytest
 
-from repro import build_engine
+from repro.api import build_engine
 from repro.core import partition_groups, speedup_bound
 from repro.workloads import grid_scenario
 

@@ -19,9 +19,8 @@ so repetition would only burn CI minutes.
 import os
 import time
 
-from repro import build_engine
-from repro.core.parallel import ParallelRunner
-from repro.core.resilience import RetryPolicy, resume_engine, save_checkpoint
+from repro.api import ParallelRunner, build_engine, resume_engine
+from repro.core.resilience import RetryPolicy, save_checkpoint
 from repro.workloads import grid_scenario
 
 SPLIT_MS = 3000

@@ -1,0 +1,112 @@
+"""Solver query-optimization A/B: the acceptance gate for the pipeline.
+
+Runs the same symbolic flood scenario twice — ``solver_optimize=False``
+(the seed pipeline: flatten, partition, exact+model cache, search) and
+``solver_optimize=True`` (incremental canonicalization, memoized models
+and verdicts, counterexample tier) — and gates on two properties:
+
+1. **Correctness**: every semantic field of the two reports is
+   identical.  The optimizer may only change *how much work* the backend
+   does, never a verdict, a state count or an executed event.
+2. **Work reduction**: at least 30% fewer backend solve-group calls
+   (``solver.backend.groups`` — each is one normalize+cache+search pass
+   over an independent conjunct group), at wall-clock no worse than the
+   seed pipeline (with slack for CI timer noise).
+
+All numbers come from the run's metrics snapshot — the same JSON
+contract ``repro run --metrics-out`` writes — not from solver internals.
+
+The flood workload in ``repro.workloads`` never queries the solver (its
+drop failures are decided at the engine level), so the scenario here
+floods *symbolic sensor readings*: every receive branches on symbolic
+data three deep, which is what issues branch-feasibility queries.
+"""
+
+import time
+
+from repro.api import Scenario, Topology, build_engine
+
+SYMBOLIC_FLOOD = """
+var seen;
+func on_boot() { timer_set(0, 40 + node_id() * 7); }
+func on_timer(tid) {
+    var buf[1];
+    buf[0] = symbolic("reading", 8);
+    bc_send(buf, 1);
+}
+func on_recv(src, len) {
+    var v = recv_byte(0);
+    if (v > 128) { v -= 128; }
+    if (v > 64) { v -= 64; }
+    if (v > 32) { seen += 1; } else { seen += 2; }
+}
+"""
+
+#: Semantic counters that must be bit-identical between the two runs.
+SEMANTIC = (
+    "states.total",
+    "run.events_executed",
+    "mapping.groups",
+    "solver.queries",
+    "solver.sat_results",
+    "solver.unsat_results",
+)
+
+
+def _scenario():
+    return Scenario(
+        name="symbolic-flood-3",
+        program=SYMBOLIC_FLOOD,
+        topology=Topology.full_mesh(3),
+        horizon_ms=300,
+    )
+
+
+def test_optimizer_reduces_backend_solves(once, benchmark):
+    def run_with(optimize):
+        engine = build_engine(_scenario(), "sds", solver_optimize=optimize)
+        t0 = time.perf_counter()
+        report = engine.run()
+        return time.perf_counter() - t0, report
+
+    def measure():
+        seed_s, seed = run_with(False)
+        opt_s, opt = run_with(True)
+        return seed_s, seed, opt_s, opt
+
+    seed_s, seed, opt_s, opt = once(measure)
+    seed_c = seed.metrics["counters"]
+    opt_c = opt.metrics["counters"]
+
+    # 1. Same answers: the optimizer must be semantically invisible.
+    for name in SEMANTIC:
+        assert opt_c[name] == seed_c[name], (name, seed_c[name], opt_c[name])
+
+    # 2. Less work: >=30% fewer backend solve-group passes.
+    seed_groups = seed_c["solver.backend.groups"]
+    opt_groups = opt_c["solver.backend.groups"]
+    reduction = 1.0 - opt_groups / max(seed_groups, 1)
+    assert reduction >= 0.30, (
+        f"backend solve reduction {reduction:.1%} < 30%"
+        f" ({seed_groups} -> {opt_groups} groups)"
+    )
+
+    # 3. No slower: the tiers must pay for themselves.  1.25x slack keeps
+    # CI timer noise from flaking a run that is reliably faster locally.
+    assert opt_s < seed_s * 1.25, (
+        f"optimized run slower: {opt_s:.2f}s vs {seed_s:.2f}s seed"
+    )
+
+    benchmark.extra_info["seed_s"] = round(seed_s, 3)
+    benchmark.extra_info["optimized_s"] = round(opt_s, 3)
+    benchmark.extra_info["backend_groups_seed"] = seed_groups
+    benchmark.extra_info["backend_groups_optimized"] = opt_groups
+    benchmark.extra_info["reduction"] = round(reduction, 3)
+    benchmark.extra_info["model_shortcuts"] = opt_c["solver.shortcuts.model"]
+    benchmark.extra_info["verdict_shortcuts"] = opt_c[
+        "solver.shortcuts.verdict"
+    ]
+    benchmark.extra_info["backend_searches"] = opt_c["solver.backend.searches"]
+    benchmark.extra_info["cache_hits_exact"] = opt_c["solver.cache.hit.exact"]
+    benchmark.extra_info["cache_hits_cex"] = opt_c["solver.cache.hit.cex"]
+    benchmark.extra_info["cache_hits_model"] = opt_c["solver.cache.hit.model"]

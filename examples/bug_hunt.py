@@ -16,7 +16,7 @@ which this script then replays deterministically to confirm.
 Run: ``python examples/bug_hunt.py``
 """
 
-from repro import Scenario, Topology, build_engine
+from repro.api import Scenario, Topology, build_engine
 from repro.core import iter_dscenarios, testcase_for_dscenario
 from repro.expr import pretty
 from repro.net.failures import standard_failure_suite

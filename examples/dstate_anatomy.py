@@ -9,7 +9,7 @@ reproducing the paper's diagrams as ASCII.
 Run: ``python examples/dstate_anatomy.py``
 """
 
-from repro import Scenario, Topology, build_engine
+from repro.api import Scenario, Topology, build_engine
 from repro.core.tracing import render_groups, render_virtual_structure
 from repro.net import SymbolicPacketDrop
 

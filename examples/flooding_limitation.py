@@ -10,7 +10,7 @@ savings evaporate.
 Run: ``python examples/flooding_limitation.py``
 """
 
-from repro import run_scenario
+from repro.api import run_scenario
 from repro.workloads import flood_scenario, grid_scenario
 
 

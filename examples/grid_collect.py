@@ -16,7 +16,7 @@ Run: ``python examples/grid_collect.py [side] [sim_seconds]``
 import sys
 from collections import Counter
 
-from repro import build_engine
+from repro.api import build_engine
 from repro.bench import render_table1
 from repro.bench.runner import BenchRow
 from repro.workloads import grid_scenario

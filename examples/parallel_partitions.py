@@ -21,9 +21,8 @@ Run: ``python examples/parallel_partitions.py [side] [workers]``
 import sys
 import time
 
-from repro import build_engine
+from repro.api import ParallelRunner, build_engine
 from repro.core import partition_groups, speedup_bound
-from repro.core.parallel import ParallelRunner
 from repro.workloads import grid_scenario
 
 SIM_SECONDS = 6

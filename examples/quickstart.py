@@ -12,11 +12,10 @@ algorithms keep in memory for it.
 Run: ``python examples/quickstart.py``
 """
 
-from repro import Scenario, Topology, run_scenario
+from repro.api import Scenario, Solver, Topology, run_scenario
 from repro.expr import pretty
 from repro.lang import compile_source
 from repro.net import SymbolicPacketDrop
-from repro.solver import Solver
 from repro.vm import Executor, Status
 
 FIGURE1_PROGRAM = """

@@ -7,9 +7,12 @@ constraint solver, a C-like guest language compiled to a symbolic bytecode
 VM, a discrete-event network simulation with symbolic failure injection, and
 a Contiki/Rime-like sensornet OS library.
 
+The stable public surface lives in :mod:`repro.api`; the top-level
+re-exports below remain for backwards compatibility.
+
 Quickstart::
 
-    from repro import Scenario, run_scenario
+    from repro.api import Scenario, run_scenario
 
     scenario = Scenario.grid(5, algorithm="sds")
     report = run_scenario(scenario)

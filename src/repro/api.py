@@ -1,0 +1,90 @@
+"""The stable public API of the reproduction, in one place.
+
+Everything an example, benchmark, or downstream script should need is
+importable from here::
+
+    from repro.api import Scenario, EngineConfig, run_scenario
+
+    report = run_scenario(my_scenario, "sds", solver_optimize=False)
+
+The deep module paths (``repro.core.engine``, ``repro.solver.core``, ...)
+remain importable but are internal: their layout may shift between
+versions, while this facade's ``__all__`` is the compatibility contract.
+
+The facade groups four things:
+
+- **scenario construction** — :class:`Scenario`, :class:`Topology`, the
+  workload registry (:func:`make_workload` / :func:`register_workload`);
+- **engine configuration and runs** — :class:`EngineConfig`,
+  :func:`build_engine`, :func:`run_scenario`, :class:`SDEEngine`,
+  :class:`ParallelRunner`, :func:`resume_engine`, and the mapper registry
+  (:func:`make_mapper` / :func:`register_mapper`);
+- **the solver surface** — :class:`Solver`, :class:`ConstraintSet`,
+  :class:`Model` (see ``docs/SOLVER.md`` for the pipeline);
+- **reports and observability** — :class:`RunReport`,
+  :func:`save_report` / :func:`load_report`, :class:`TraceEmitter`.
+"""
+
+from __future__ import annotations
+
+from .core.config import EngineConfig
+from .core.engine import RunReport, SDEEngine
+from .core.parallel import ParallelReport, ParallelRunner
+from .core.reporting import load_report_dict, report_to_dict, save_report
+from .core.resilience import resume_engine
+from .core.scenario import (
+    ALGORITHMS,
+    Scenario,
+    available_algorithms,
+    build_engine,
+    make_mapper,
+    register_mapper,
+    run_scenario,
+)
+from .net.topology import Topology
+from .obs.events import TraceEmitter, load_trace
+from .solver import ConstraintSet, Model, Solver
+from .workloads import (
+    WORKLOADS,
+    available_workloads,
+    make_workload,
+    register_workload,
+)
+
+#: canonical name for reading a saved report back (the underlying helper
+#: returns the raw dict — reports are plain data once serialized).
+load_report = load_report_dict
+
+__all__ = [
+    # scenario construction
+    "Scenario",
+    "Topology",
+    "WORKLOADS",
+    "available_workloads",
+    "make_workload",
+    "register_workload",
+    # engine configuration and runs
+    "EngineConfig",
+    "SDEEngine",
+    "build_engine",
+    "run_scenario",
+    "ParallelRunner",
+    "ParallelReport",
+    "resume_engine",
+    "ALGORITHMS",
+    "available_algorithms",
+    "make_mapper",
+    "register_mapper",
+    # solver surface
+    "Solver",
+    "ConstraintSet",
+    "Model",
+    # reports and observability
+    "RunReport",
+    "report_to_dict",
+    "save_report",
+    "load_report",
+    "load_report_dict",
+    "TraceEmitter",
+    "load_trace",
+]

@@ -14,6 +14,7 @@
 """
 
 from .cob import COBMapper, DScenario  # noqa: F401
+from .config import ENGINE_CONFIG_FIELDS, EngineConfig  # noqa: F401
 from .complexity import (  # noqa: F401
     dscenario_tree_size,
     instructions_to_reach,
@@ -62,8 +63,10 @@ from .replay import (  # noqa: F401
 from .scenario import (  # noqa: F401
     ALGORITHMS,
     Scenario,
+    available_algorithms,
     build_engine,
     make_mapper,
+    register_mapper,
     run_scenario,
 )
 from .sds import SDSMapper, VDState, VirtualState  # noqa: F401

@@ -1,0 +1,135 @@
+"""Engine configuration — one frozen object instead of ~20 keywords.
+
+:class:`EngineConfig` collects every *value* knob of an SDE run: horizon,
+failure models, resource caps, sampling cadence, checkpoint cadence and
+the solver pipeline switches.  Collaborator objects (a pre-built
+:class:`~repro.solver.Solver`, a :class:`~repro.obs.events.TraceEmitter`)
+stay separate constructor arguments — they carry state and are never
+shipped across process boundaries, while a config is immutable and
+picklable, so a worker task or a checkpoint can carry exactly one of
+them.
+
+The legacy ``SDEEngine(program, topology, mapper, horizon_ms=..., ...)``
+keyword form still works through a shim that assembles an
+:class:`EngineConfig` and emits a :class:`DeprecationWarning` (the test
+suite escalates that warning to an error everywhere except the shim's
+own test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..net.failures import FailureModel
+
+__all__ = ["EngineConfig", "ENGINE_CONFIG_FIELDS", "split_config_overrides"]
+
+# One value for all nodes, or an explicit per-node mapping (mirrors
+# engine.PresetValue; redefined here to keep config.py import-light).
+_PresetValue = Union[int, Dict[int, int]]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable value-configuration of one :class:`SDEEngine`.
+
+    ``replace`` derives a variant (workers strip checkpoint settings,
+    benchmarks flip ``solver_optimize``); everything else is a plain
+    field.  Sequence fields are normalized to tuples so configs can be
+    compared and shipped between processes safely.
+    """
+
+    #: virtual-time horizon: the run stops at this simulated time.
+    horizon_ms: int
+    #: failure models applied at packet reception, in order.
+    failure_models: Tuple[FailureModel, ...] = ()
+    #: preset guest globals: name -> value or per-node mapping.
+    preset_globals: Optional[Dict[str, _PresetValue]] = None
+    #: link latency of the medium.
+    latency_ms: int = 1
+    #: per-node boot times; ``None`` boots every node at t=0.
+    boot_times: Optional[Tuple[int, ...]] = None
+    # -- resource caps (None = uncapped) -----------------------------------
+    max_states: Optional[int] = None
+    max_accounted_bytes: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
+    # -- diagnostics --------------------------------------------------------
+    check_invariants: bool = False
+    sample_every_events: int = 64
+    max_steps_per_event: int = 1_000_000
+    # -- checkpointing (repro.core.resilience) ------------------------------
+    checkpoint_path: Optional[str] = None
+    checkpoint_every_events: Optional[int] = None
+    checkpoint_every_seconds: Optional[float] = None
+    # -- solver pipeline (repro.solver) -------------------------------------
+    solver_cache: bool = True
+    solver_max_nodes: int = 200_000
+    #: master switch for the query-optimization pipeline (canonicalization,
+    #: tiered caching, model shortcuts); off = seed solver behaviour.
+    solver_optimize: bool = True
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store tuples so the config stays
+        # hashable-by-parts and safely shareable.
+        if not isinstance(self.failure_models, tuple):
+            object.__setattr__(
+                self, "failure_models", tuple(self.failure_models)
+            )
+        if self.boot_times is not None and not isinstance(
+            self.boot_times, tuple
+        ):
+            object.__setattr__(self, "boot_times", tuple(self.boot_times))
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (the config itself is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def worker_variant(self) -> "EngineConfig":
+        """The config a parallel worker runs under.
+
+        Workers never checkpoint (the parent run owns the checkpoint
+        file) and never re-check mapper invariants (the parent already
+        did, and the checks assume a whole-system view).
+        """
+        return self.replace(
+            check_invariants=False,
+            checkpoint_path=None,
+            checkpoint_every_events=None,
+            checkpoint_every_seconds=None,
+        )
+
+    def make_solver(self):
+        """A fresh :class:`~repro.solver.Solver` per the solver fields."""
+        from ..solver import Solver
+
+        return Solver(
+            use_cache=self.solver_cache,
+            max_nodes=self.solver_max_nodes,
+            optimize=self.solver_optimize,
+        )
+
+
+#: every field name of :class:`EngineConfig` — the override-splitting
+#: contract used by ``build_engine``/``resume_engine``.
+ENGINE_CONFIG_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(EngineConfig)
+)
+
+
+def split_config_overrides(overrides: Dict[str, object]) -> Tuple[
+    Dict[str, object], Dict[str, object]
+]:
+    """Split a kwargs dict into (config fields, everything else)."""
+    config_part = {
+        key: value
+        for key, value in overrides.items()
+        if key in ENGINE_CONFIG_FIELDS
+    }
+    rest = {
+        key: value
+        for key, value in overrides.items()
+        if key not in ENGINE_CONFIG_FIELDS
+    }
+    return config_part, rest

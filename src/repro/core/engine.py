@@ -22,11 +22,11 @@ This module is exactly that loop:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..lang.bytecode import CompiledProgram
 from ..lang.compiler import compile_source
-from ..net.failures import FailureModel
 from ..net.medium import Medium
 from ..net.packet import Packet
 from ..net.topology import Topology
@@ -39,10 +39,19 @@ from ..sim.queue import EventQueue
 from ..solver import Solver
 from ..vm.executor import Executor
 from ..vm.state import CellValue, Event, ExecutionState, Status
+from .config import EngineConfig
 from .mapping import StateMapper
 from .stats import Sample, StatsRecorder, estimate_state_bytes
 
 __all__ = ["SDEEngine", "RunReport", "PresetValue"]
+
+#: the exact DeprecationWarning text of the legacy-kwargs shim; the
+#: pytest ``filterwarnings`` entry in pyproject.toml is scoped to it.
+LEGACY_KWARGS_MESSAGE = (
+    "passing engine options as SDEEngine keyword arguments is deprecated;"
+    " build an EngineConfig and pass SDEEngine(program, topology, mapper,"
+    " config)"
+)
 
 # A preset global: one value for all nodes, or an explicit per-node mapping.
 PresetValue = Union[int, Dict[int, int]]
@@ -76,10 +85,7 @@ class RunReport:
         # -- observability extras (the metrics-snapshot contract) ----------
         self.phases = engine.profiler.snapshot()
         self.cache_stats = engine.solver.cache_stats()
-        self.solver_stats = {
-            "sat_results": engine.solver.sat_results,
-            "unsat_results": engine.solver.unsat_results,
-        }
+        self.solver_stats = engine.solver.stats_dict()
         self.net_stats = engine.medium.stats_dict()
         self.histograms = {
             "solver.query.conjuncts": engine.solver.conjunct_histogram.data(),
@@ -131,50 +137,41 @@ class SDEEngine:
         program: Union[str, CompiledProgram],
         topology: Topology,
         mapper: StateMapper,
-        horizon_ms: int,
-        failure_models: Sequence[FailureModel] = (),
-        preset_globals: Optional[Dict[str, PresetValue]] = None,
-        latency_ms: int = 1,
+        config: Optional[Union[EngineConfig, int]] = None,
+        *,
         solver: Optional[Solver] = None,
-        boot_times: Optional[Sequence[int]] = None,
-        max_states: Optional[int] = None,
-        max_accounted_bytes: Optional[int] = None,
-        max_wall_seconds: Optional[float] = None,
-        check_invariants: bool = False,
-        sample_every_events: int = 64,
-        max_steps_per_event: int = 1_000_000,
         trace: Optional[TraceEmitter] = None,
-        checkpoint_path: Optional[str] = None,
-        checkpoint_every_events: Optional[int] = None,
-        checkpoint_every_seconds: Optional[float] = None,
+        **legacy,
     ) -> None:
+        config = self._coerce_config(config, legacy)
         if isinstance(program, str):
             program = compile_source(program)
+        self.config = config
         self.program = program
         self.topology = topology
         self.mapper = mapper
-        self.medium = Medium(topology, latency_ms)
-        self.clock = VirtualClock(horizon_ms)
-        self.solver = solver if solver is not None else Solver()
+        self.medium = Medium(topology, config.latency_ms)
+        self.clock = VirtualClock(config.horizon_ms)
+        self.solver = solver if solver is not None else config.make_solver()
         self.executor = Executor(
             program,
             self.solver,
             host=NodeOS(self),
-            max_steps_per_event=max_steps_per_event,
+            max_steps_per_event=config.max_steps_per_event,
         )
-        self.failure_models = list(failure_models)
-        self.preset_globals = dict(preset_globals or {})
+        self.failure_models = list(config.failure_models)
+        self.preset_globals = dict(config.preset_globals or {})
         self.boot_times = (
-            list(boot_times)
-            if boot_times is not None
+            list(config.boot_times)
+            if config.boot_times is not None
             else [0] * topology.node_count
         )
         if len(self.boot_times) != topology.node_count:
             raise ValueError("boot_times must list one time per node")
-        self.max_states = max_states
-        self.max_accounted_bytes = max_accounted_bytes
-        self.max_wall_seconds = max_wall_seconds
-        self.check_invariants = check_invariants
+        self.max_states = config.max_states
+        self.max_accounted_bytes = config.max_accounted_bytes
+        self.max_wall_seconds = config.max_wall_seconds
+        self.check_invariants = config.check_invariants
 
         self.states: Dict[int, ExecutionState] = {}
         self.packets: Dict[int, Packet] = {}  # pid -> packet (for reports)
@@ -187,15 +184,16 @@ class SDEEngine:
         # Checkpointing (see repro.core.resilience): with a path set, the
         # run loop snapshots itself every N events / T wall seconds so a
         # killed run can continue via `repro run --resume`.
-        self.checkpoint_path = checkpoint_path
-        self.checkpoint_every_events = checkpoint_every_events
-        self.checkpoint_every_seconds = checkpoint_every_seconds
+        self.checkpoint_path = config.checkpoint_path
+        self.checkpoint_every_events = config.checkpoint_every_events
+        self.checkpoint_every_seconds = config.checkpoint_every_seconds
         self.checkpoints_written = 0
         self.resumed = False
         self._last_checkpoint_events = 0
         self._last_checkpoint_elapsed = 0.0
         self.stats = StatsRecorder(
-            len(program.code), sample_every_events=sample_every_events
+            len(program.code),
+            sample_every_events=config.sample_every_events,
         )
         # Observability: `trace is None` means tracing off — every emit
         # site guards on that, so the disabled path allocates nothing.
@@ -206,6 +204,34 @@ class SDEEngine:
         self.medium.trace = trace
         self.solver.attach_observability(trace, self.profiler)
         mapper.bind(self._register_state, trace=trace)
+
+    @staticmethod
+    def _coerce_config(
+        config: Optional[Union[EngineConfig, int]], legacy: Dict[str, object]
+    ) -> EngineConfig:
+        """Accept an :class:`EngineConfig` or the legacy keyword form.
+
+        The legacy form — ``horizon_ms`` as the fourth positional argument
+        and/or engine options as keywords — still works but warns; it is
+        exercised only by its dedicated deprecation test (the suite turns
+        this warning into an error everywhere else).
+        """
+        if isinstance(config, EngineConfig):
+            if legacy:
+                raise TypeError(
+                    "cannot mix EngineConfig with legacy keyword arguments"
+                    f" {sorted(legacy)}"
+                )
+            return config
+        fields = dict(legacy)
+        if config is not None:  # legacy positional horizon_ms
+            fields.setdefault("horizon_ms", config)
+        if "horizon_ms" not in fields:
+            raise TypeError(
+                "SDEEngine needs an EngineConfig (or at least horizon_ms)"
+            )
+        warnings.warn(LEGACY_KWARGS_MESSAGE, DeprecationWarning, stacklevel=3)
+        return EngineConfig(**fields)
 
     # -- EngineServices (used by NodeOS) ---------------------------------------
 

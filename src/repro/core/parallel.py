@@ -46,7 +46,6 @@ from ..net.packet import ensure_packet_ids_above, packet_id_watermark
 from ..obs.events import TraceEmitter
 from ..obs.metrics import Histogram, report_snapshot
 from ..obs.profile import merge_phase_snapshots
-from ..solver import Solver
 from ..vm.state import ensure_state_ids_above, state_id_watermark
 from .engine import RunReport, SDEEngine
 from .partition import Partition, lpt_assign, partition_groups, projected_speedup
@@ -66,23 +65,19 @@ __all__ = ["ParallelRunner", "ParallelReport", "WorkerResult", "WorkerTask"]
 
 
 class WorkerTask:
-    """Everything one worker needs to resume its partitions — picklable."""
+    """Everything one worker needs to resume its partitions — picklable.
+
+    All engine value-options travel as one :class:`EngineConfig`
+    (already stripped to its worker variant: no checkpointing, no
+    invariant re-checks); the remaining slots are the execution frontier.
+    """
 
     __slots__ = (
         "index",
         "algorithm",
         "program",
         "topology",
-        "horizon_ms",
-        "failure_models",
-        "preset_globals",
-        "latency_ms",
-        "boot_times",
-        "max_states",
-        "max_accounted_bytes",
-        "max_wall_seconds",
-        "sample_every_events",
-        "max_steps_per_event",
+        "config",
         "mapper_payload",
         "scheduler_entries",
         "clock_now",
@@ -184,20 +179,10 @@ def restore_worker_engine(task: WorkerTask) -> SDEEngine:
 
     mapper = make_mapper(task.algorithm)
     engine = SDEEngine(
-        program=task.program,
-        topology=task.topology,
-        mapper=mapper,
-        horizon_ms=task.horizon_ms,
-        failure_models=task.failure_models,
-        preset_globals=task.preset_globals,
-        latency_ms=task.latency_ms,
-        solver=Solver(),
-        boot_times=task.boot_times,
-        max_states=task.max_states,
-        max_accounted_bytes=task.max_accounted_bytes,
-        max_wall_seconds=task.max_wall_seconds,
-        sample_every_events=task.sample_every_events,
-        max_steps_per_event=task.max_steps_per_event,
+        task.program,
+        task.topology,
+        mapper,
+        task.config,
         trace=TraceEmitter(worker=task.index) if task.trace else None,
     )
     engine._started = True  # resuming: the boot states already exist
@@ -597,16 +582,7 @@ class ParallelRunner:
                     algorithm=engine.mapper.name,
                     program=engine.program,
                     topology=engine.topology,
-                    horizon_ms=engine.clock.horizon,
-                    failure_models=engine.failure_models,
-                    preset_globals=engine.preset_globals,
-                    latency_ms=engine.medium.latency_ms,
-                    boot_times=engine.boot_times,
-                    max_states=engine.max_states,
-                    max_accounted_bytes=engine.max_accounted_bytes,
-                    max_wall_seconds=engine.max_wall_seconds,
-                    sample_every_events=engine.stats._sample_every,
-                    max_steps_per_event=engine.executor.max_steps_per_event,
+                    config=engine.config.worker_variant(),
                     mapper_payload=engine.mapper.snapshot_groups(group_indices),
                     scheduler_entries=[
                         entry for entry in scheduler_entries if entry[1] in sids

@@ -473,7 +473,10 @@ class WorkerSupervisor:
 # ---------------------------------------------------------------------------
 
 CHECKPOINT_MAGIC = b"SDECKPT"
-CHECKPOINT_VERSION = 1
+# Version 2: construction parameters travel as one EngineConfig under
+# "config", and solver counters as the solver's stats_dict under
+# "solver_stats" (version-1 checkpoints carried both exploded).
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -484,20 +487,19 @@ def _engine_payload(engine) -> dict:
     """Everything needed to rebuild ``engine`` mid-run, picklable."""
     mapper = engine.mapper
     return {
-        # -- WorkerTask-equivalent construction parameters ---------------
+        # -- construction parameters --------------------------------------
         "algorithm": mapper.name,
         "program": engine.program,
         "topology": engine.topology,
-        "horizon_ms": engine.clock.horizon,
-        "failure_models": engine.failure_models,
-        "preset_globals": engine.preset_globals,
-        "latency_ms": engine.medium.latency_ms,
-        "boot_times": engine.boot_times,
-        "max_states": engine.max_states,
-        "max_accounted_bytes": engine.max_accounted_bytes,
-        "max_wall_seconds": engine.max_wall_seconds,
-        "sample_every_events": engine.stats._sample_every,
-        "max_steps_per_event": engine.executor.max_steps_per_event,
+        # Checkpoint cadence is NOT inherited: the resumed run only
+        # checkpoints if the caller re-enables it via overrides (the CLI's
+        # --resume does), so a resume into a different path can't silently
+        # keep overwriting the original file.
+        "config": engine.config.replace(
+            checkpoint_path=None,
+            checkpoint_every_events=None,
+            checkpoint_every_seconds=None,
+        ),
         # -- execution frontier ------------------------------------------
         "mapper_payload": mapper.snapshot_groups(range(mapper.group_count())),
         "scheduler_entries": engine.scheduler_snapshot(),
@@ -509,8 +511,7 @@ def _engine_payload(engine) -> dict:
         "events_executed": engine.events_executed,
         "instructions": engine.executor.instructions_executed,
         "solver_queries": engine.solver.queries,
-        "sat_results": engine.solver.sat_results,
-        "unsat_results": engine.solver.unsat_results,
+        "solver_stats": engine.solver.stats_dict(),
         "conjunct_histogram": engine.solver.conjunct_histogram.data(),
         "mapping_stats": mapper.stats.as_dict(),
         "net_stats": engine.medium.stats_dict(),
@@ -616,35 +617,25 @@ def resume_engine(path, trace=None, **engine_overrides):
     ``checkpoint_every_events``, ...).
     """
     from ..net.packet import ensure_packet_ids_above
-    from ..solver import Solver
     from ..vm.state import ensure_state_ids_above
+    from .config import split_config_overrides
     from .engine import SDEEngine
     from .scenario import make_mapper
 
     _, payload = load_checkpoint(path)
     mapper = make_mapper(payload["algorithm"])
-    params = dict(
-        program=payload["program"],
-        topology=payload["topology"],
-        mapper=mapper,
-        horizon_ms=payload["horizon_ms"],
-        failure_models=payload["failure_models"],
-        preset_globals=payload["preset_globals"],
-        latency_ms=payload["latency_ms"],
-        solver=Solver(),
-        boot_times=payload["boot_times"],
-        max_states=payload["max_states"],
-        max_accounted_bytes=payload["max_accounted_bytes"],
-        max_wall_seconds=payload["max_wall_seconds"],
-        sample_every_events=payload["sample_every_events"],
-        max_steps_per_event=payload["max_steps_per_event"],
-        trace=trace,
-    )
+    config = payload["config"]
     # Overrides win: a run aborted at a cap can be resumed with the cap
     # raised (`resume_engine(path, max_states=None)`), or with
     # checkpointing re-enabled on the resumed run.
-    params.update(engine_overrides)
-    engine = SDEEngine(**params)
+    config_fields, rest = split_config_overrides(engine_overrides)
+    if rest:
+        raise TypeError(f"unknown engine override(s) {sorted(rest)}")
+    if config_fields:
+        config = config.replace(**config_fields)
+    engine = SDEEngine(
+        payload["program"], payload["topology"], mapper, config, trace=trace
+    )
     engine._started = True  # the boot states live in the payload
     mapper.restore_groups(payload["mapper_payload"])
     for group in mapper.groups():
@@ -666,16 +657,16 @@ def resume_engine(path, trace=None, **engine_overrides):
     engine.executor.instructions_executed = payload["instructions"]
     solver = engine.solver
     solver.queries = payload["solver_queries"]
-    solver.sat_results = payload["sat_results"]
-    solver.unsat_results = payload["unsat_results"]
+    solver.restore_stats(payload["solver_stats"])
     _restore_histogram(solver.conjunct_histogram, payload["conjunct_histogram"])
     for slot, value in payload["mapping_stats"].items():
         setattr(mapper.stats, slot, value)
     for name, value in payload["net_stats"].items():
         setattr(engine.medium, name, value)
     if payload["cache_stats"] and solver._cache is not None:
-        for name, value in payload["cache_stats"].items():
-            setattr(solver._cache.stats, name, value)
+        from ..solver import CacheStats
+
+        solver._cache.stats = CacheStats.restore(payload["cache_stats"])
     for name, data in payload["phases"].items():
         phase = engine.profiler.phase(name)
         phase.count = data["count"]

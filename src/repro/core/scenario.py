@@ -17,12 +17,21 @@ from ..net.failures import FailureModel
 from ..net.topology import Topology
 from ..solver import Solver
 from .cob import COBMapper
+from .config import EngineConfig, split_config_overrides
 from .cow import COWMapper
 from .engine import PresetValue, RunReport, SDEEngine
 from .mapping import StateMapper
 from .sds import SDSMapper
 
-__all__ = ["Scenario", "make_mapper", "build_engine", "run_scenario", "ALGORITHMS"]
+__all__ = [
+    "Scenario",
+    "make_mapper",
+    "register_mapper",
+    "available_algorithms",
+    "build_engine",
+    "run_scenario",
+    "ALGORITHMS",
+]
 
 ALGORITHMS = ("cob", "cow", "sds")
 
@@ -33,13 +42,30 @@ _MAPPERS: Dict[str, Callable[[], StateMapper]] = {
 }
 
 
+def register_mapper(name: str, factory: Callable[[], StateMapper]) -> None:
+    """Register a custom state-mapping algorithm under ``name``.
+
+    The factory must return a fresh :class:`StateMapper` per call (mappers
+    hold per-run state).  Registering an existing name replaces it, so
+    tests can shadow a built-in and restore it afterwards.
+    """
+    _MAPPERS[name] = factory
+
+
+def available_algorithms() -> tuple:
+    """Every registered algorithm name, built-ins first."""
+    extras = sorted(name for name in _MAPPERS if name not in ALGORITHMS)
+    return ALGORITHMS + tuple(extras)
+
+
 def make_mapper(algorithm: str) -> StateMapper:
     """Instantiate a state-mapping algorithm by name ('cob'/'cow'/'sds')."""
     try:
         return _MAPPERS[algorithm]()
     except KeyError:
         raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            f"unknown algorithm {algorithm!r}; choose from"
+            f" {available_algorithms()}"
         ) from None
 
 
@@ -73,33 +99,61 @@ class Scenario:
     def node_count(self) -> int:
         return self.topology.node_count
 
+    def engine_config(self, **overrides) -> EngineConfig:
+        """The :class:`EngineConfig` this scenario describes.
+
+        Failure models are instantiated fresh from the factory each call,
+        so every engine built from the returned config is independent.
+        """
+        config = EngineConfig(
+            horizon_ms=self.horizon_ms,
+            failure_models=tuple(self.failure_factory()),
+            preset_globals=self.preset_globals,
+            latency_ms=self.latency_ms,
+            boot_times=(
+                tuple(self.boot_times) if self.boot_times is not None else None
+            ),
+            max_states=self.max_states,
+            max_accounted_bytes=self.max_accounted_bytes,
+            max_wall_seconds=self.max_wall_seconds,
+            sample_every_events=self.sample_every_events,
+        )
+        return config.replace(**overrides) if overrides else config
+
 
 def build_engine(
     scenario: Scenario,
     algorithm: str = "sds",
     check_invariants: bool = False,
     solver: Optional[Solver] = None,
+    config: Optional[EngineConfig] = None,
     **overrides,
 ) -> SDEEngine:
-    """Construct (but do not run) an engine for ``scenario``."""
-    params = dict(
-        program=scenario.compiled(),
-        topology=scenario.topology,
-        mapper=make_mapper(algorithm),
-        horizon_ms=scenario.horizon_ms,
-        failure_models=list(scenario.failure_factory()),
-        preset_globals=scenario.preset_globals,
-        latency_ms=scenario.latency_ms,
-        boot_times=scenario.boot_times,
-        max_states=scenario.max_states,
-        max_accounted_bytes=scenario.max_accounted_bytes,
-        max_wall_seconds=scenario.max_wall_seconds,
-        sample_every_events=scenario.sample_every_events,
-        check_invariants=check_invariants,
-        solver=solver if solver is not None else Solver(),
+    """Construct (but do not run) an engine for ``scenario``.
+
+    ``overrides`` may name any :class:`EngineConfig` field (applied on top
+    of the scenario's config) plus the ``trace`` collaborator; anything
+    else is rejected so typos fail loudly instead of silently running with
+    defaults.
+    """
+    config_fields, rest = split_config_overrides(overrides)
+    trace = rest.pop("trace", None)
+    if rest:
+        raise TypeError(f"unknown engine override(s) {sorted(rest)}")
+    if config is None:
+        config = scenario.engine_config(check_invariants=check_invariants)
+    elif check_invariants:
+        config = config.replace(check_invariants=True)
+    if config_fields:
+        config = config.replace(**config_fields)
+    return SDEEngine(
+        scenario.compiled(),
+        scenario.topology,
+        make_mapper(algorithm),
+        config,
+        solver=solver,
+        trace=trace,
     )
-    params.update(overrides)
-    return SDEEngine(**params)
 
 
 def run_scenario(

@@ -55,8 +55,11 @@ VOLATILE_FIELDS = frozenset(
 
 #: Events whose *presence* depends on the harness (worker count, split
 #: point, checkpoint cadence, injected faults), not on the simulated
-#: system.  The trace-diff tool skips them.
-META_EVENT_PREFIXES = ("worker.", "run.", "checkpoint.")
+#: system.  ``solver.*`` qualifies too: how many queries reach the
+#: backend — and what each looks like after canonicalization — depends on
+#: per-process memo and cache state, while the *verdicts* (and hence all
+#: semantic events) do not.  The trace-diff tool skips them.
+META_EVENT_PREFIXES = ("worker.", "run.", "checkpoint.", "solver.")
 
 #: ``ev`` -> required non-volatile fields.  The schema is deliberately
 #: flat: one JSON object per line, primitive values only.

@@ -7,6 +7,7 @@ caching.
 """
 
 from .cache import CacheStats, SolverCache  # noqa: F401
+from .constraints import EMPTY, ConstraintSet, as_constraint_set  # noqa: F401
 from .core import (  # noqa: F401
     SearchBudgetExceeded,
     Solver,
@@ -17,3 +18,4 @@ from .independence import group_for, partition  # noqa: F401
 from .model import Model  # noqa: F401
 from .propagate import Infeasible, propagate  # noqa: F401
 from .search import ENUMERATION_LIMIT, search  # noqa: F401
+from .simplify import simplify_conjuncts, substitute  # noqa: F401

@@ -1,66 +1,89 @@
-"""Query caching for the solver.
+"""Tiered query caching (KLEE's counterexample cache, adapted).
 
-Two layers, mirroring KLEE's caching stack:
+SDE queries are massively redundant: forked siblings share all but one
+conjunct, and every branch site issues near-identical feasibility pairs.
+The cache answers a query about one independence group from three tiers,
+cheapest first:
 
-1. **Exact cache** — the canonical frozenset of conjuncts maps to its
-   result (a model, or None for unsat).  Symbolic execution re-issues nearly
-   identical queries constantly (each branch adds one conjunct to an already
-   solved prefix), and expressions are interned, so hashing a query is cheap.
-2. **Model reuse (counterexample cache)** — before searching, recently
-   produced models are evaluated against the new query; a hit proves
-   satisfiability without any search.  This catches the common "the new
-   conjunct was already true under the old model" case.
+1. **exact** — the frozenset of the group's conjuncts is the key; a hit
+   returns the stored result (a model, or ``None`` for UNSAT) outright.
+2. **counterexample subset** — a stored UNSAT key that is a *subset* of
+   the query proves the query UNSAT (adding conjuncts can't revive it).
+   Candidates come from a per-variable index so only keys sharing the
+   query's variables are examined, with a hard scan bound.
+3. **model reuse** — a model stored for a *subset* key is evaluated
+   against only the extra conjuncts (for unrelated keys: against the
+   whole query); satisfaction proves SAT without a search.
 
-The model-reuse scan is bounded: each model remembers its variable-name
-set, candidates whose variables are not a subset of the query's variables
-are skipped without evaluation (they came from unrelated independence
-groups), and at most ``max_model_scan`` models are *evaluated* per
-lookup.  ``CacheStats.model_scan_steps`` counts the evaluations so the
-ablation benchmark can report the scan cost directly.
+Stats use the metric names the observability layer exports
+(``solver.cache.hit.exact`` / ``hit.cex`` / ``hit.model`` / ``miss``);
+:meth:`CacheStats.restore` maps them back for checkpoint resume.
+``tiered=False`` drops tier 2 and the subset-key shortcut of tier 3
+(the seed behaviour), which is what ``Solver(optimize=False)`` uses for
+A/B runs.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..expr import BoolExpr, BVVar
 from .model import Model
 
 __all__ = ["SolverCache", "CacheStats"]
 
+Key = FrozenSet[BoolExpr]
+
 
 class CacheStats:
-    """Counters exposed for the solver-ablation benchmark."""
+    """Hit/miss accounting, one attribute per tier."""
 
     __slots__ = (
         "exact_hits",
+        "cex_hits",
         "model_reuse_hits",
         "misses",
         "stores",
         "model_scan_steps",
+        "subset_scan_steps",
     )
 
-    def __init__(self) -> None:
-        self.exact_hits = 0
-        self.model_reuse_hits = 0
-        self.misses = 0
-        self.stores = 0
-        #: total model evaluations performed by the reuse scan
-        self.model_scan_steps = 0
+    #: metric-snapshot name -> attribute (the JSON contract behind the
+    #: ``solver.cache.*`` counters; also accepted by :meth:`restore`).
+    METRIC_NAMES = {
+        "hit.exact": "exact_hits",
+        "hit.cex": "cex_hits",
+        "hit.model": "model_reuse_hits",
+        "miss": "misses",
+        "stores": "stores",
+        "model_scan_steps": "model_scan_steps",
+        "subset_scan_steps": "subset_scan_steps",
+    }
 
-    def as_dict(self) -> dict:
+    def __init__(self) -> None:
+        for attribute in self.__slots__:
+            setattr(self, attribute, 0)
+
+    def as_dict(self) -> Dict[str, int]:
         return {
-            "exact_hits": self.exact_hits,
-            "model_reuse_hits": self.model_reuse_hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "model_scan_steps": self.model_scan_steps,
+            name: getattr(self, attribute)
+            for name, attribute in self.METRIC_NAMES.items()
         }
+
+    @classmethod
+    def restore(cls, mapping: Dict[str, int]) -> "CacheStats":
+        """Rebuild from :meth:`as_dict` output (or attribute names)."""
+        stats = cls()
+        for name, value in mapping.items():
+            attribute = cls.METRIC_NAMES.get(name, name)
+            if attribute in cls.__slots__:
+                setattr(stats, attribute, int(value))
+        return stats
 
     def __repr__(self) -> str:
         return (
-            f"CacheStats(exact={self.exact_hits},"
+            f"CacheStats(exact={self.exact_hits}, cex={self.cex_hits},"
             f" reuse={self.model_reuse_hits}, misses={self.misses})"
         )
 
@@ -69,43 +92,66 @@ _MISS = object()
 
 
 class SolverCache:
-    """Bounded LRU cache of query results plus a model-reuse pool."""
+    """The tiered cache described in the module docstring.
+
+    ``lookup`` returns ``(hit, result)`` where ``result`` is a
+    :class:`Model` for SAT and ``None`` for UNSAT; ``last_outcome``
+    records which tier answered (``"exact"``, ``"cex"``, ``"model"`` or
+    ``"miss"``) for trace events.  Every structure is bounded: exact
+    entries and UNSAT index keys are LRU-evicted, and the model / subset
+    scans have hard step limits so a lookup can never cost more than a
+    small constant multiple of a miss.
+    """
 
     def __init__(
         self,
         max_entries: int = 65536,
         max_models: int = 256,
         max_model_scan: int = 64,
+        max_unsat_entries: int = 4096,
+        max_subset_scan: int = 64,
+        tiered: bool = True,
     ) -> None:
-        self._exact: "OrderedDict[FrozenSet[BoolExpr], Optional[Model]]" = (
-            OrderedDict()
-        )
+        self._exact: "OrderedDict[Key, Optional[Model]]" = OrderedDict()
         self._models: "OrderedDict[Model, None]" = OrderedDict()
         self._model_vars: Dict[Model, FrozenSet[str]] = {}
+        self._model_keys: Dict[Model, Key] = {}
+        # UNSAT subset index: every remembered UNSAT key is filed under
+        # ONE representative variable name (its smallest), so a query
+        # only scans the buckets of its own variables.
+        self._unsat_keys: "OrderedDict[Key, str]" = OrderedDict()
+        self._unsat_by_rep: Dict[str, List[Key]] = {}
         self._max_entries = max_entries
         self._max_models = max_models
         self._max_model_scan = max_model_scan
+        self._max_unsat_entries = max_unsat_entries
+        self._max_subset_scan = max_subset_scan
+        self._tiered = tiered
         self.stats = CacheStats()
-        #: how the most recent lookup was answered ("exact"/"model"/"miss");
-        #: read by the solver's trace instrumentation.
+        #: how the most recent lookup was answered; read by the solver's
+        #: trace instrumentation ("exact"/"cex"/"model"/"miss").
         self.last_outcome = "miss"
 
     @staticmethod
-    def key(constraints: Iterable[BoolExpr]) -> FrozenSet[BoolExpr]:
+    def key(constraints: Iterable[BoolExpr]) -> Key:
+        """Order-independent cache key for one conjunct group."""
         return frozenset(constraints)
+
+    # -- lookup ---------------------------------------------------------------
 
     def lookup(
         self,
-        key: FrozenSet[BoolExpr],
+        key: Key,
         variables: Optional[Iterable[BVVar]] = None,
     ) -> Tuple[bool, Optional[Model]]:
         """Return ``(hit, result)``; result is a Model or None (unsat).
 
         ``variables``: the query's variable set when the caller knows it
-        (the solver passes each independence group's variables).  Models
-        assigning any variable outside the query are skipped without
-        evaluation — they were produced for unrelated groups and reusing
-        them would leak unconstrained assignments into the merged model.
+        (the solver passes each independence group's variables).  It
+        keys the UNSAT subset index and lets the model scan skip models
+        assigning variables outside the query — those came from
+        unrelated groups and reusing them would leak unconstrained
+        assignments into the merged model.
         """
         result = self._exact.get(key, _MISS)
         if result is not _MISS:
@@ -113,13 +159,46 @@ class SolverCache:
             self.stats.exact_hits += 1
             self.last_outcome = "exact"
             return True, result  # type: ignore[return-value]
-        # Model reuse: most recently stored models first, at most
-        # max_model_scan evaluations.
         query_names = (
             None
             if variables is None
             else frozenset(v.name for v in variables)
         )
+        if self._tiered and query_names and self._unsat_subset(key, query_names):
+            self.stats.cex_hits += 1
+            self.last_outcome = "cex"
+            return True, None
+        reused = self._reusable_model(key, query_names)
+        if reused is not None:
+            self.stats.model_reuse_hits += 1
+            self.last_outcome = "model"
+            return True, reused
+        self.stats.misses += 1
+        self.last_outcome = "miss"
+        return False, None
+
+    def _unsat_subset(self, key: Key, query_names: FrozenSet[str]) -> bool:
+        """Tier 2: does a remembered UNSAT key prove this query UNSAT?"""
+        scanned = 0
+        for name in sorted(query_names):
+            candidates = self._unsat_by_rep.get(name)
+            if not candidates:
+                continue
+            for candidate in reversed(candidates):  # newest first
+                scanned += 1
+                if candidate <= key:
+                    self.stats.subset_scan_steps += scanned
+                    return True
+                if scanned >= self._max_subset_scan:
+                    self.stats.subset_scan_steps += scanned
+                    return False
+        self.stats.subset_scan_steps += scanned
+        return False
+
+    def _reusable_model(
+        self, key: Key, query_names: Optional[FrozenSet[str]]
+    ) -> Optional[Model]:
+        """Tier 3: most recently stored models first, bounded evaluations."""
         evaluated = 0
         for model in reversed(self._models):
             if evaluated >= self._max_model_scan:
@@ -129,17 +208,20 @@ class SolverCache:
             ):
                 continue
             evaluated += 1
-            if model.satisfies(key):
+            probe: Iterable[BoolExpr] = key
+            if self._tiered:
+                stored_key = self._model_keys.get(model)
+                if stored_key is not None and stored_key <= key:
+                    probe = key - stored_key  # evaluate only the extras
+            if model.satisfies(probe):
                 self.stats.model_scan_steps += evaluated
-                self.stats.model_reuse_hits += 1
-                self.last_outcome = "model"
-                return True, model
+                return model
         self.stats.model_scan_steps += evaluated
-        self.stats.misses += 1
-        self.last_outcome = "miss"
-        return False, None
+        return None
 
-    def store(self, key: FrozenSet[BoolExpr], result: Optional[Model]) -> None:
+    # -- store ----------------------------------------------------------------
+
+    def store(self, key: Key, result: Optional[Model]) -> None:
         self.stats.stores += 1
         self._exact[key] = result
         self._exact.move_to_end(key)
@@ -148,15 +230,45 @@ class SolverCache:
         if result is not None:
             self._models[result] = None
             self._model_vars[result] = frozenset(result)
+            self._model_keys[result] = key
             self._models.move_to_end(result)
             while len(self._models) > self._max_models:
                 evicted, _ = self._models.popitem(last=False)
                 self._model_vars.pop(evicted, None)
+                self._model_keys.pop(evicted, None)
+        elif self._tiered:
+            self._remember_unsat(key)
+
+    def _remember_unsat(self, key: Key) -> None:
+        if key in self._unsat_keys:
+            return
+        representative = min(
+            (v.name for c in key for v in c.variables()), default=""
+        )
+        if not representative:
+            return  # ground UNSAT groups never gain from subset proofs
+        self._unsat_keys[key] = representative
+        self._unsat_by_rep.setdefault(representative, []).append(key)
+        while len(self._unsat_keys) > self._max_unsat_entries:
+            stale, rep = self._unsat_keys.popitem(last=False)
+            bucket = self._unsat_by_rep.get(rep)
+            if bucket is not None:
+                try:
+                    bucket.remove(stale)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del self._unsat_by_rep[rep]
+
+    # -- maintenance ----------------------------------------------------------
 
     def clear(self) -> None:
         self._exact.clear()
         self._models.clear()
         self._model_vars.clear()
+        self._model_keys.clear()
+        self._unsat_keys.clear()
+        self._unsat_by_rep.clear()
 
     def __len__(self) -> int:
         return len(self._exact)

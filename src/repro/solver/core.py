@@ -1,12 +1,32 @@
 """The solver facade used by the virtual machine and test-case generator.
 
-:class:`Solver` decides satisfiability of conjunctions of boolean
-expressions over fixed-width bitvector variables.  Pipeline per query:
+:class:`Solver` decides satisfiability of a *path condition plus one
+optional extra conjunct* — the shape of every query symbolic execution
+issues.  The public entry points (:meth:`check`, :meth:`may_be_true`,
+:meth:`must_be_true`, :meth:`branch_feasibility`) all take the path
+condition as a :class:`~repro.solver.constraints.ConstraintSet`; any
+other iterable of boolean expressions is accepted through one adapter
+(:func:`~repro.solver.constraints.as_constraint_set`) and pays for its
+own analysis.  Pipeline per query, cheapest tier first:
 
-1. flatten/simplify the conjunction (constant conjuncts short-circuit);
-2. split into independent groups (:mod:`repro.solver.independence`);
-3. per group: consult the cache, otherwise run propagation + search;
-4. merge the per-group models.
+0. **model shortcut** — the ConstraintSet's memoized model is evaluated
+   on the extra conjunct; success answers SAT with zero solving (this is
+   what makes one arm of every branch-feasibility pair free);
+1. **canonicalization** — the memoized canonical form
+   (:mod:`repro.solver.simplify`) is extended by the substituted extra
+   conjunct; constant folds and digest contradictions answer here;
+2. **independence partition** — the memoized variable-sharing groups,
+   with the extra conjunct merged in (:mod:`repro.solver.independence`);
+3. **per group** — the tiered :class:`~repro.solver.cache.SolverCache`
+   (exact / UNSAT-subset / model-reuse), then propagation + search.
+
+Accounting contract: ``queries``, ``sat_results`` and ``unsat_results``
+are *semantic* and deterministic — independent of worker count, memo
+state, cache contents and checkpoint/resume (``branch_feasibility``
+always counts exactly two queries, even when one arm is answered for
+free).  Everything cache- or memo-dependent (``backend.*``,
+``shortcuts.*``, ``simplify.*`` and the ``solver.cache.*`` stats) is
+volatile by design and excluded from determinism comparisons.
 
 The procedure is sound and complete for the expression language of
 :mod:`repro.expr`; a per-query node budget guards against adversarial
@@ -15,14 +35,21 @@ blow-ups and raises rather than silently mis-answering.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..expr import BoolAnd, BoolConst, BoolExpr, and_, not_
 from ..obs.metrics import Histogram
 from .cache import SolverCache
+from .constraints import (
+    ConstraintSet,
+    as_constraint_set,
+    groups_of,
+    merge_into_groups,
+)
 from .independence import partition
 from .model import Model
 from .search import SearchBudgetExceeded, search
+from .simplify import simplify_conjuncts, substitute
 
 __all__ = ["Solver", "SolverError", "UnsatisfiableError", "SearchBudgetExceeded"]
 
@@ -36,102 +63,130 @@ class UnsatisfiableError(SolverError):
 
 
 class Solver:
-    """Satisfiability oracle with caching.
+    """Satisfiability oracle with memoized normalization and tiered caching.
 
     A single instance is shared by all execution states of an SDE run (the
     cache thrives on the cross-state query overlap that forking produces).
+
+    ``optimize=False`` turns off the query-optimization layer — no model
+    shortcut, no canonicalization, no counterexample tier — leaving the
+    seed pipeline (flatten, partition, exact+model cache, search).  Both
+    modes produce semantically identical results; the A/B benchmark
+    (``benchmarks/bench_solver.py``) gates on that plus the backend-solve
+    reduction.
     """
 
     def __init__(
         self,
         use_cache: bool = True,
         max_nodes: int = 200_000,
+        optimize: bool = True,
     ) -> None:
-        self._cache = SolverCache() if use_cache else None
+        self._cache = SolverCache(tiered=optimize) if use_cache else None
         self._max_nodes = max_nodes
+        self._optimize = optimize
+        # Deterministic, semantic counters (see module docstring).
         self.queries = 0
         self.sat_results = 0
         self.unsat_results = 0
-        #: query-size distribution, part of the run's metrics snapshot
+        # Volatile work counters: how much the backend actually did.
+        self.backend_groups = 0  # _solve_group calls (the bench gate metric)
+        self.backend_searches = 0  # cache-missing search() runs
+        self.model_shortcuts = 0  # tier-0 answers
+        self.verdict_shortcuts = 0  # memoized per-node query verdicts
+        self.simplify_stats: Dict[str, int] = {}
+        #: query-size distribution, part of the run's metrics snapshot.
+        #: Sizes are the *raw* conjunct counts (pre-simplification), so the
+        #: histogram is identical whatever the memo/cache state.
         self.conjunct_histogram = Histogram("solver.query.conjuncts")
         # Observability wiring (attach_observability); None = off.
         self.trace = None
         self._phase_solve = None
+        self._phase_search = None
 
     def attach_observability(self, trace, profiler) -> None:
-        """Adopt an engine's trace emitter and phase profiler."""
+        """Adopt an engine's trace emitter and phase profiler.
+
+        ``solve`` wraps whole queries; ``solve.search`` only the backend
+        search calls, so ``solve - solve.search`` is the overhead of (and
+        the time saved by) the optimization tiers.
+        """
         self.trace = trace
         self._phase_solve = profiler.phase("solve") if profiler else None
+        self._phase_search = profiler.phase("solve.search") if profiler else None
 
     # -- public API ---------------------------------------------------------
 
-    def check(self, constraints: Iterable[BoolExpr]) -> Optional[Model]:
+    def check(self, constraints) -> Optional[Model]:
         """Return a satisfying :class:`Model`, or None if unsatisfiable.
 
-        Variables not mentioned by ``constraints`` are unconstrained; models
-        omit them (consumers default omitted inputs to zero).
+        ``constraints``: a :class:`ConstraintSet` (preferred — its memoized
+        canonical form, partition and model are reused) or any iterable of
+        boolean expressions.  Variables not mentioned are unconstrained;
+        models omit them (consumers default omitted inputs to zero).
         """
+        cset = as_constraint_set(constraints)
         if self._phase_solve is not None:
             with self._phase_solve:
-                return self._check(constraints)
-        return self._check(constraints)
+                return self._check(cset)
+        return self._check(cset)
 
-    def _check(self, constraints: Iterable[BoolExpr]) -> Optional[Model]:
-        self.queries += 1
-        conjuncts = self._normalize(constraints)
-        size = 0 if conjuncts is None else len(conjuncts)
-        self.conjunct_histogram.observe(size)
-        if conjuncts is None:
-            self.unsat_results += 1
-            self._emit_query(size, "unsat")
-            return None
-        if not conjuncts:
-            self.sat_results += 1
-            self._emit_query(size, "sat")
-            return Model({})
-
-        merged = Model({})
-        for group, group_vars in partition(conjuncts):
-            result = self._solve_group(group, group_vars)
-            if result is None:
-                self.unsat_results += 1
-                self._emit_query(size, "unsat")
-                return None
-            merged = merged.merged_with(result)
-        self.sat_results += 1
-        self._emit_query(size, "sat")
-        return merged
-
-    def _emit_query(self, conjuncts: int, result: str) -> None:
-        if self.trace is not None:
-            self.trace.emit(
-                "solver.query", conjuncts=conjuncts, result=result
-            )
-
-    def is_satisfiable(self, constraints: Iterable[BoolExpr]) -> bool:
+    def is_satisfiable(self, constraints) -> bool:
         return self.check(constraints) is not None
 
-    def may_be_true(
-        self, constraints: Sequence[BoolExpr], condition: BoolExpr
-    ) -> bool:
-        """Can ``condition`` hold under ``constraints``?"""
-        return self.is_satisfiable(list(constraints) + [condition])
+    def may_be_true(self, constraints, condition: BoolExpr) -> bool:
+        """Can ``condition`` hold under ``constraints``?
 
-    def must_be_true(
-        self, constraints: Sequence[BoolExpr], condition: BoolExpr
-    ) -> bool:
-        """Does ``constraints`` entail ``condition``?"""
-        return not self.is_satisfiable(list(constraints) + [not_(condition)])
+        One query; the condition rides along as the extra conjunct — the
+        path condition is never re-materialized (no per-query O(n) list
+        building).
+        """
+        cset = as_constraint_set(constraints)
+        if self._phase_solve is not None:
+            with self._phase_solve:
+                return self._check(cset, condition) is not None
+        return self._check(cset, condition) is not None
 
-    def get_model(self, constraints: Iterable[BoolExpr]) -> Model:
+    def must_be_true(self, constraints, condition: BoolExpr) -> bool:
+        """Does ``constraints`` entail ``condition``?  One query."""
+        cset = as_constraint_set(constraints)
+        negated = not_(condition)
+        if self._phase_solve is not None:
+            with self._phase_solve:
+                return self._check(cset, negated) is None
+        return self._check(cset, negated) is None
+
+    def branch_feasibility(
+        self, constraints, condition: BoolExpr
+    ) -> Tuple[bool, bool]:
+        """``(may_be_true, may_be_false)`` of ``condition`` — the branch pair.
+
+        Replaces the executor's back-to-back may/must calls.  Always
+        accounts exactly two queries, but whenever the ConstraintSet
+        carries a memoized model, that model decides one of the two arms
+        (every total assignment satisfies ``condition`` or its negation),
+        so at most one arm reaches the backend.
+        """
+        cset = as_constraint_set(constraints)
+        if self._phase_solve is not None:
+            with self._phase_solve:
+                return self._branch_feasibility(cset, condition)
+        return self._branch_feasibility(cset, condition)
+
+    def _branch_feasibility(
+        self, cset: ConstraintSet, condition: BoolExpr
+    ) -> Tuple[bool, bool]:
+        may_true = self._check(cset, condition) is not None
+        may_false = self._check(cset, not_(condition)) is not None
+        return may_true, may_false
+
+    def get_model(self, constraints) -> Model:
         model = self.check(constraints)
         if model is None:
             raise UnsatisfiableError("no model exists")
         return model
 
-    def iter_models(
-        self, constraints: Iterable[BoolExpr], limit: Optional[int] = None
-    ):
+    def iter_models(self, constraints, limit: Optional[int] = None):
         """Yield distinct models of ``constraints`` (all of them if finite).
 
         Classic blocking-clause enumeration: after each model, a disjunct
@@ -144,21 +199,22 @@ class Solver:
         from ..expr import ne as _ne
         from ..expr import or_ as _or
 
-        worklist = list(constraints)
+        base = as_constraint_set(constraints)
         variables = sorted(
-            {v for c in worklist for v in c.variables()},
+            {v for c in base for v in c.variables()},
             key=lambda v: v.name,
         )
+        node = base
         produced = 0
         while limit is None or produced < limit:
-            model = self.check(worklist)
+            model = self.check(node)
             if model is None:
                 return
             yield model.restricted_to(variables)
             produced += 1
             if not variables:
                 return  # ground constraints: exactly one (empty) model
-            worklist.append(
+            node = node.extended(
                 _or(
                     *(
                         _ne(v, _bv(model.get(v.name, 0), v.width))
@@ -172,23 +228,166 @@ class Solver:
         # __len__); only a disabled cache should report None.
         return self._cache.stats.as_dict() if self._cache is not None else None
 
-    # -- internals ----------------------------------------------------------
+    def stats_dict(self) -> Dict[str, int]:
+        """Solver counters for the metrics snapshot (``solver.<key>``).
+
+        ``sat_results``/``unsat_results`` are deterministic; the
+        ``backend.*``, ``shortcuts.*`` and ``simplify.*`` families are
+        volatile (memo/cache dependent) and excluded from determinism
+        comparisons alongside ``solver.cache.*``.
+        """
+        stats = self.simplify_stats
+        return {
+            "sat_results": self.sat_results,
+            "unsat_results": self.unsat_results,
+            "backend.groups": self.backend_groups,
+            "backend.searches": self.backend_searches,
+            "shortcuts.model": self.model_shortcuts,
+            "shortcuts.verdict": self.verdict_shortcuts,
+            "simplify.runs": stats.get("runs", 0),
+            "simplify.resimplify": stats.get("resimplify", 0),
+            "simplify.removed": stats.get("removed", 0),
+            "simplify.contradictions": stats.get("contradictions", 0),
+        }
+
+    def restore_stats(self, mapping: Dict[str, int]) -> None:
+        """Adopt counter baselines from a checkpoint (:mod:`resilience`)."""
+        self.sat_results = int(mapping.get("sat_results", 0))
+        self.unsat_results = int(mapping.get("unsat_results", 0))
+        self.backend_groups = int(mapping.get("backend.groups", 0))
+        self.backend_searches = int(mapping.get("backend.searches", 0))
+        self.model_shortcuts = int(mapping.get("shortcuts.model", 0))
+        self.verdict_shortcuts = int(mapping.get("shortcuts.verdict", 0))
+        for name in ("runs", "resimplify", "removed", "contradictions"):
+            value = int(mapping.get(f"simplify.{name}", 0))
+            if value:
+                self.simplify_stats[name] = value
+
+    # -- the query pipeline --------------------------------------------------
+
+    def _check(
+        self, cset: ConstraintSet, extra: Optional[BoolExpr] = None
+    ) -> Optional[Model]:
+        self.queries += 1
+        size = len(cset) + (0 if extra is None else 1)
+        self.conjunct_histogram.observe(size)
+
+        memoizable = self._optimize and len(cset) > 0
+        if self._optimize:
+            model = cset.cached_model()
+            if model is not None and (
+                extra is None or model.satisfies((extra,))
+            ):
+                self.model_shortcuts += 1
+                self.sat_results += 1
+                self._emit_query(size, "sat")
+                return model
+        if memoizable:
+            # Forked siblings share the ConstraintSet node and probe the
+            # same branch conditions, so identical (node, extra) queries
+            # repeat constantly; a memoized verdict answers them without
+            # re-running normalization or the backend.  SAT/UNSAT is
+            # semantic, so the deterministic counters stay deterministic.
+            hit, cached = cset.cached_verdict(extra)
+            if hit:
+                self.verdict_shortcuts += 1
+                if cached is None:
+                    self.unsat_results += 1
+                    self._emit_query(size, "unsat")
+                else:
+                    self.sat_results += 1
+                    self._emit_query(size, "sat")
+                return cached
+
+        conjuncts, groups = self._normalized(cset, extra)
+        if conjuncts is None:
+            self.unsat_results += 1
+            self._emit_query(size, "unsat")
+            if memoizable:
+                cset.memo_verdict(extra, None)
+            return None
+
+        merged = Model({})
+        for group, group_vars in groups:
+            result = self._solve_group(group, group_vars)
+            if result is None:
+                self.unsat_results += 1
+                self._emit_query(size, "unsat")
+                if memoizable:
+                    cset.memo_verdict(extra, None)
+                return None
+            merged = merged.merged_with(result)
+        self.sat_results += 1
+        self._emit_query(size, "sat")
+        if memoizable:
+            # `merged` satisfies canonical(cset) ∧ extra ⊨ cset, so memoize
+            # it on the node: later queries against the same path condition
+            # start at tier 0.  The shared EMPTY root keeps its pristine
+            # empty model (it is a module singleton).
+            cset.seed_model(merged)
+            cset.memo_verdict(extra, merged)
+        return merged
+
+    def _normalized(self, cset: ConstraintSet, extra: Optional[BoolExpr]):
+        """``(conjuncts, groups)`` to solve, or ``(None, None)`` = UNSAT."""
+        if not self._optimize:
+            raw = list(cset.raw())
+            if extra is not None:
+                raw.append(extra)
+            conjuncts = self._flatten(raw)
+            if conjuncts is None:
+                return None, None
+            return conjuncts, partition(list(conjuncts))
+
+        stats = self.simplify_stats
+        base = cset.canonical(stats)
+        if base is None:
+            return None, None
+        if extra is None:
+            return base, cset.partition_groups(stats)
+
+        eqs = cset.equality_env()
+        conjunct = substitute(extra, eqs) if eqs else extra
+        if isinstance(conjunct, BoolConst):
+            if conjunct.value:
+                return base, cset.partition_groups(stats)
+            return None, None
+        if isinstance(conjunct, BoolAnd):
+            # The extra conjunct flattened into several: one full pass.
+            stats["resimplify"] = stats.get("resimplify", 0) + 1
+            simplified = simplify_conjuncts(base + conjunct.operands)
+            if simplified is None:
+                return None, None
+            return simplified, groups_of(simplified)
+        digest = cset.digest()
+        if conjunct in digest:
+            return base, cset.partition_groups(stats)
+        if not_(conjunct) in digest:
+            return None, None
+        return (
+            base + (conjunct,),
+            merge_into_groups(cset.partition_groups(stats), conjunct),
+        )
 
     @staticmethod
-    def _normalize(
-        constraints: Iterable[BoolExpr],
-    ) -> Optional[List[BoolExpr]]:
-        """Flatten into a conjunct list; None signals definite unsat."""
+    def _flatten(constraints: Iterable[BoolExpr]):
+        """Seed normalization: flatten into a conjunct tuple; None = unsat."""
         combined = and_(*constraints)
         if isinstance(combined, BoolConst):
-            return [] if combined.value else None
+            return () if combined.value else None
         if isinstance(combined, BoolAnd):
-            return list(combined.operands)
-        return [combined]
+            return combined.operands
+        return (combined,)
 
-    def _solve_group(
-        self, group: List[BoolExpr], group_vars: frozenset
-    ) -> Optional[Model]:
+    def _emit_query(self, conjuncts: int, result: str) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "solver.query", conjuncts=conjuncts, result=result
+            )
+
+    def _solve_group(self, group, group_vars: frozenset) -> Optional[Model]:
+        self.backend_groups += 1
+        key = None
         if self._cache is not None:
             key = SolverCache.key(group)
             hit, cached = self._cache.lookup(key, group_vars)
@@ -205,7 +404,12 @@ class Solver:
                 "solver.cache",
                 outcome="miss" if self._cache is not None else "disabled",
             )
-        result = search(group, group_vars, max_nodes=self._max_nodes)
+        self.backend_searches += 1
+        if self._phase_search is not None:
+            with self._phase_search:
+                result = search(list(group), group_vars, max_nodes=self._max_nodes)
+        else:
+            result = search(list(group), group_vars, max_nodes=self._max_nodes)
         if self._cache is not None:
             self._cache.store(key, result)
         return result

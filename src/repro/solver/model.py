@@ -12,6 +12,12 @@ __all__ = ["Model"]
 class Model:
     """An immutable variable assignment ``name -> unsigned value``.
 
+    Models are *partial*: a variable absent from the mapping is 0.  This
+    is the completion rule :meth:`satisfies` has always used, and lookups
+    apply it too — the optimizing solver legitimately returns models that
+    omit variables (a reused parent model, say, need not mention a new
+    conjunct's variables when the zero default already satisfies it).
+
     The solver guarantees every returned model satisfies the query; the
     :meth:`satisfies` re-check exists for tests and for model reuse in the
     cache (checking whether an old model also satisfies a new query).
@@ -23,7 +29,7 @@ class Model:
         self._values = dict(values)
 
     def __getitem__(self, name: str) -> int:
-        return self._values[name]
+        return self._values.get(name, 0)
 
     def get(self, name: str, default: int = 0) -> int:
         return self._values.get(name, default)

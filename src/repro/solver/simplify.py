@@ -1,0 +1,355 @@
+"""Canonicalization of constraint conjunctions (the "simplify" pass).
+
+KLEE attributes a large share of its solver throughput to rewriting
+queries *before* STP sees them: constant folding, implied-value
+concretization, and dropping conjuncts the rest of the set already
+implies.  This module is that pass for the SDE solver.  It operates on a
+tuple of boolean conjuncts (the flattened path condition) and returns an
+*equivalent* — not merely equisatisfiable — tuple, or ``None`` when the
+conjunction is provably unsatisfiable:
+
+- **constant folding / commutative ordering** — delegated to the smart
+  constructors in :mod:`repro.expr.builder`, which every rewritten node
+  is rebuilt through;
+- **implied-equality substitution** — a conjunct ``x == 5`` rewrites
+  every *other* conjunct's uses of ``x`` to ``5`` (the defining equality
+  is kept, so models are preserved in both directions);
+- **subsumption elimination** — among single-variable bound conjuncts
+  (``x < 10``, ``x < 50``) only the tightest per direction survives, and
+  ``x != c`` disappears when the bounds already exclude ``c``;
+- **interval contradiction** — an empty per-variable bound interval (or
+  a pair of complementary conjuncts) proves the whole set UNSAT without
+  a search.
+
+Equivalence (any model of the output satisfies the input and vice versa)
+is the property :class:`~repro.solver.constraints.ConstraintSet` relies
+on to reuse one canonical form for every query against the same path
+condition; ``tests/solver/test_simplify.py`` checks it property-based
+against the brute-force oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..expr.ast import (
+    BoolAnd,
+    BoolConst,
+    BoolExpr,
+    BoolNot,
+    BoolOr,
+    BVBinary,
+    BVConcat,
+    BVConst,
+    BVExtend,
+    BVExtract,
+    BVIte,
+    BVUnary,
+    BVVar,
+    Cmp,
+    Expr,
+    to_signed,
+)
+from ..expr import builder as _b
+
+__all__ = ["simplify_conjuncts", "substitute"]
+
+# Builder re-application tables for `substitute`: rebuilding through the
+# smart constructors is what performs the constant folding.
+_BINARY_BUILDERS = {
+    "add": _b.add,
+    "sub": _b.sub,
+    "mul": _b.mul,
+    "udiv": _b.udiv,
+    "urem": _b.urem,
+    "sdiv": _b.sdiv,
+    "srem": _b.srem,
+    "bvand": _b.bvand,
+    "bvor": _b.bvor,
+    "bvxor": _b.bvxor,
+    "shl": _b.shl,
+    "lshr": _b.lshr,
+    "ashr": _b.ashr,
+}
+_UNARY_BUILDERS = {"neg": _b.neg, "bvnot": _b.bvnot}
+_CMP_BUILDERS = {
+    "eq": _b.eq,
+    "ne": _b.ne,
+    "ult": _b.ult,
+    "ule": _b.ule,
+    "slt": _b.slt,
+    "sle": _b.sle,
+}
+
+
+def substitute(expr: Expr, env: Dict[Expr, Expr], memo=None) -> Expr:
+    """Rewrite ``expr`` replacing each variable in ``env`` by its value.
+
+    ``env`` maps :class:`BVVar` nodes to replacement expressions (in
+    practice :class:`BVConst`).  The result is rebuilt bottom-up through
+    the builder smart constructors, so any rewrite that exposes a
+    constant subterm folds immediately.  Nodes are interned, hence the
+    memo is keyed by node identity and shared across the conjuncts of
+    one simplification run.
+    """
+    if memo is None:
+        memo = {}
+    return _subst(expr, env, memo)
+
+
+def _subst(expr: Expr, env: Dict[Expr, Expr], memo: dict) -> Expr:
+    found = memo.get(expr)
+    if found is not None:
+        return found
+    kind = type(expr)
+    if kind is BVConst or kind is BoolConst:
+        result = expr
+    elif expr in env:  # BVVar (interned: identity lookup)
+        result = env[expr]
+    elif kind is BVUnary:
+        result = _UNARY_BUILDERS[expr.op](_subst(expr.operand, env, memo))
+    elif kind is BVBinary:
+        result = _BINARY_BUILDERS[expr.op](
+            _subst(expr.left, env, memo), _subst(expr.right, env, memo)
+        )
+    elif kind is BVIte:
+        result = _b.ite(
+            _subst(expr.cond, env, memo),
+            _subst(expr.then, env, memo),
+            _subst(expr.orelse, env, memo),
+        )
+    elif kind is BVExtract:
+        result = _b.extract(
+            _subst(expr.operand, env, memo), expr.low, expr.width
+        )
+    elif kind is BVExtend:
+        rebuild = _b.sext if expr.signed else _b.zext
+        result = rebuild(_subst(expr.operand, env, memo), expr.width)
+    elif kind is BVConcat:
+        result = _b.concat(
+            _subst(expr.high, env, memo), _subst(expr.low_part, env, memo)
+        )
+    elif kind is Cmp:
+        result = _CMP_BUILDERS[expr.op](
+            _subst(expr.left, env, memo), _subst(expr.right, env, memo)
+        )
+    elif kind is BoolNot:
+        result = _b.not_(_subst(expr.operand, env, memo))
+    elif kind is BoolAnd:
+        result = _b.and_(*[_subst(op, env, memo) for op in expr.operands])
+    elif kind is BoolOr:
+        result = _b.or_(*[_subst(op, env, memo) for op in expr.operands])
+    else:  # BVVar not in env, or future node kinds: leave untouched
+        result = expr
+    memo[expr] = result
+    return result
+
+
+def _var_eq_const(conjunct: BoolExpr):
+    """``x == c`` (builder canonicalization puts the constant right)."""
+    if (
+        type(conjunct) is Cmp
+        and conjunct.op == "eq"
+        and type(conjunct.right) is BVConst
+        and type(conjunct.left) is BVVar
+    ):
+        return conjunct.left, conjunct.right
+    return None
+
+
+class _Bounds:
+    """Per-variable bound interval in one signedness domain."""
+
+    __slots__ = ("lo", "hi", "lo_expr", "hi_expr")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.lo_expr: Optional[BoolExpr] = None
+        self.hi_expr: Optional[BoolExpr] = None
+
+    def tighten_hi(self, value: int, expr: BoolExpr) -> bool:
+        if value < self.hi:
+            self.hi = value
+            self.hi_expr = expr
+            return True
+        return False
+
+    def tighten_lo(self, value: int, expr: BoolExpr) -> bool:
+        if value > self.lo:
+            self.lo = value
+            self.lo_expr = expr
+            return True
+        return False
+
+    @property
+    def empty(self) -> bool:
+        return self.lo > self.hi
+
+
+def _classify_bound(conjunct: BoolExpr):
+    """``(var, domain, side, inclusive_value)`` for var-vs-const orderings.
+
+    ``domain`` is ``"u"``/``"s"``, ``side`` is ``"hi"``/``"lo"``; returns
+    ``None`` for anything that is not a single-variable bound.
+    """
+    if type(conjunct) is not Cmp or conjunct.op not in (
+        "ult",
+        "ule",
+        "slt",
+        "sle",
+    ):
+        return None
+    signed = conjunct.op[0] == "s"
+    strict = conjunct.op.endswith("lt")
+    left, right = conjunct.left, conjunct.right
+    if type(left) is BVVar and type(right) is BVConst:
+        value = to_signed(right.value, right.width) if signed else right.value
+        return left, ("s" if signed else "u"), "hi", value - 1 if strict else value
+    if type(left) is BVConst and type(right) is BVVar:
+        value = to_signed(left.value, left.width) if signed else left.value
+        return right, ("s" if signed else "u"), "lo", value + 1 if strict else value
+    return None
+
+
+def _subsume_bounds(
+    conjuncts: Tuple[BoolExpr, ...],
+) -> Optional[Tuple[BoolExpr, ...]]:
+    """Drop bound conjuncts implied by a tighter one; detect empty intervals.
+
+    Keeps input order for the survivors.  Unsigned and signed domains are
+    tracked independently — each alone proves UNSAT when its interval is
+    empty, and the two are never cross-combined (wrap-around makes that
+    unsound without a case split).
+    """
+    bounds: Dict[Tuple[object, str], _Bounds] = {}
+    equalities: Dict[object, BVConst] = {}
+    disequalities: List[Tuple[object, BVConst, BoolExpr]] = []
+
+    for conjunct in conjuncts:
+        pair = _var_eq_const(conjunct)
+        if pair is not None:
+            variable, const = pair
+            previous = equalities.get(variable)
+            if previous is not None and previous is not const:
+                return None  # x == c1 and x == c2 with c1 != c2
+            equalities[variable] = const
+            continue
+        if (
+            type(conjunct) is Cmp
+            and conjunct.op == "ne"
+            and type(conjunct.right) is BVConst
+            and type(conjunct.left) is BVVar
+        ):
+            disequalities.append((conjunct.left, conjunct.right, conjunct))
+            continue
+        classified = _classify_bound(conjunct)
+        if classified is None:
+            continue
+        variable, domain, side, value = classified
+        if domain == "u":
+            default = _Bounds(0, (1 << variable.width) - 1)
+        else:
+            half = 1 << (variable.width - 1)
+            default = _Bounds(-half, half - 1)
+        window = bounds.setdefault((variable, domain), default)
+        if side == "hi":
+            window.tighten_hi(value, conjunct)
+        else:
+            window.tighten_lo(value, conjunct)
+
+    keep_bound_exprs = set()
+    for (variable, domain), window in bounds.items():
+        if window.empty:
+            return None
+        equal = equalities.get(variable)
+        if equal is not None:
+            value = (
+                to_signed(equal.value, equal.width)
+                if domain == "s"
+                else equal.value
+            )
+            if not (window.lo <= value <= window.hi):
+                return None  # equality outside the surviving interval
+            continue  # the equality implies every bound on this variable
+        if window.lo_expr is not None:
+            keep_bound_exprs.add(window.lo_expr)
+        if window.hi_expr is not None:
+            keep_bound_exprs.add(window.hi_expr)
+
+    drop_disequalities = set()
+    for variable, const, conjunct in disequalities:
+        window = bounds.get((variable, "u"))
+        if window is not None and not (window.lo <= const.value <= window.hi):
+            drop_disequalities.add(conjunct)
+        elif (
+            window is not None
+            and window.lo == window.hi == const.value
+        ):
+            return None  # interval pins x to c while x != c
+
+    out: List[BoolExpr] = []
+    for conjunct in conjuncts:
+        if _classify_bound(conjunct) is not None:
+            if conjunct in keep_bound_exprs:
+                out.append(conjunct)
+            continue
+        if conjunct in drop_disequalities:
+            continue
+        out.append(conjunct)
+    return tuple(out)
+
+
+_MAX_ROUNDS = 8
+
+
+def simplify_conjuncts(
+    conjuncts: Iterable[BoolExpr],
+) -> Optional[Tuple[BoolExpr, ...]]:
+    """Canonicalize a conjunction; ``None`` means provably UNSAT.
+
+    The output is logically *equivalent* to the input (same models over
+    the input's variables, with absent variables unconstrained), so
+    callers may solve or cache against the canonical form and reuse its
+    models against the raw one.
+    """
+    combined = _b.and_(*list(conjuncts))
+    if isinstance(combined, BoolConst):
+        return () if combined.value else None
+    work: Tuple[BoolExpr, ...] = (
+        combined.operands if isinstance(combined, BoolAnd) else (combined,)
+    )
+
+    for _ in range(_MAX_ROUNDS):
+        env: Dict[Expr, Expr] = {}
+        for conjunct in work:
+            pair = _var_eq_const(conjunct)
+            if pair is not None:
+                variable, const = pair
+                previous = env.get(variable)
+                if previous is not None and previous is not const:
+                    return None  # conflicting equalities
+                env[variable] = const
+        if not env:
+            break
+        memo: dict = {}
+        changed = False
+        rewritten: List[BoolExpr] = []
+        for conjunct in work:
+            if _var_eq_const(conjunct) is not None:
+                rewritten.append(conjunct)  # keep the defining equality
+                continue
+            replaced = _subst(conjunct, env, memo)
+            if replaced is not conjunct:
+                changed = True
+            rewritten.append(replaced)
+        combined = _b.and_(*rewritten)
+        if isinstance(combined, BoolConst):
+            return () if combined.value else None
+        work = (
+            combined.operands if isinstance(combined, BoolAnd) else (combined,)
+        )
+        if not changed:
+            break
+
+    return _subsume_bounds(work)

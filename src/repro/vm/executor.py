@@ -310,6 +310,14 @@ class Executor:
     def _feasible(self, state: ExecutionState, condition) -> bool:
         return self.solver.may_be_true(state.constraints, condition)
 
+    def _branch_feasible(self, state: ExecutionState, condition):
+        """``(may_hold, may_not_hold)`` for a two-way branch decision.
+
+        One batched solver call instead of the back-to-back may/must
+        pair: the state's memoized model decides one arm for free.
+        """
+        return self.solver.branch_feasibility(state.constraints, condition)
+
     # .. arithmetic ..................................................................
 
     def _arith(self, state, op, line) -> Optional[List[ExecutionState]]:
@@ -349,8 +357,9 @@ class Executor:
                 ]
         else:
             zero_cond = eq(right, bv(0))
-            if self._feasible(state, zero_cond):
-                if self._feasible(state, not_(zero_cond)):
+            can_zero, can_nonzero = self._branch_feasible(state, zero_cond)
+            if can_zero:
+                if can_nonzero:
                     error_twin = state.fork()
                     error_twin.add_constraint(zero_cond)
                     self._die(
@@ -418,8 +427,7 @@ class Executor:
                 state.pc = target
             return None
         zero_cond = eq(value, bv(0))
-        feasible_zero = self._feasible(state, zero_cond)
-        feasible_nonzero = self._feasible(state, not_(zero_cond))
+        feasible_zero, feasible_nonzero = self._branch_feasible(state, zero_cond)
         if feasible_zero and feasible_nonzero:
             # Fork: the original takes the fall-through; the twin jumps...
             # conditions depend on which of JZ/JNZ we are executing.
@@ -665,8 +673,7 @@ class Executor:
                 )
             ]
         holds = ne(value, bv(0))
-        can_fail = self._feasible(state, not_(holds))
-        can_pass = self._feasible(state, holds)
+        can_pass, can_fail = self._branch_feasible(state, holds)
         if not can_fail:
             state.opstack.append(0)
             return None

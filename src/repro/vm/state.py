@@ -20,6 +20,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..expr import BoolExpr, BVExpr
+from ..solver.constraints import EMPTY, ConstraintSet
 from .errors import GuestError
 
 __all__ = [
@@ -131,7 +132,11 @@ class ExecutionState:
         self.pc: int = 0
         self.call_stack: List[int] = []
         self.opstack: List[CellValue] = []
-        self.constraints: Tuple[BoolExpr, ...] = ()
+        # The path condition: a persistent parent-sharing ConstraintSet.
+        # Forks alias the same node; add_constraint appends a child node,
+        # so all analysis memos (canonical form, partition, model) are
+        # shared along the prefix chain.
+        self.constraints: ConstraintSet = EMPTY
         self.status: str = Status.IDLE
         self.error: Optional[GuestError] = None
         self.steps: int = 0
@@ -177,7 +182,7 @@ class ExecutionState:
     # -- path constraints ------------------------------------------------------
 
     def add_constraint(self, constraint: BoolExpr) -> None:
-        self.constraints = self.constraints + (constraint,)
+        self.constraints = self.constraints.extended(constraint)
 
     def fresh_symbol_name(self, tag: str) -> str:
         count = self.sym_counters.get(tag, 0)

@@ -1,5 +1,13 @@
 """Evaluation scenarios: the paper's grids, the line example, the flooding
-limitation case, and the guest programs they run."""
+limitation case, and the guest programs they run.
+
+Besides the factory functions, the module keeps a name -> factory
+*registry* so tools (the CLI, benchmark drivers, :mod:`repro.api` users)
+can build workloads from strings; :func:`register_workload` admits
+out-of-tree scenarios to the same machinery.
+"""
+
+from typing import Callable, Dict
 
 from .dissemination import (  # noqa: F401
     DISSEMINATION_APP,
@@ -9,6 +17,37 @@ from .dissemination import (  # noqa: F401
 from .flood import flood_scenario  # noqa: F401
 from .grid import PAPER_SIZES, grid_scenario, paper_grid_scenario  # noqa: F401
 from .line import line_scenario  # noqa: F401
+
+#: built-in workload name -> scenario factory.  Factories take the
+#: workload size as their first argument; further keywords are
+#: factory-specific (see each module).
+WORKLOADS: Dict[str, Callable] = {
+    "grid": grid_scenario,
+    "line": line_scenario,
+    "flood": flood_scenario,
+    "dissemination": dissemination_scenario,
+}
+
+
+def register_workload(name: str, factory: Callable) -> None:
+    """Register (or replace) a workload factory under ``name``."""
+    WORKLOADS[name] = factory
+
+
+def available_workloads() -> tuple:
+    """Every registered workload name, sorted."""
+    return tuple(sorted(WORKLOADS))
+
+
+def make_workload(name: str, *args, **kwargs):
+    """Build a scenario from a registered workload name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {available_workloads()}"
+        ) from None
+    return factory(*args, **kwargs)
 from .programs import (  # noqa: F401
     BUGGY_DEDUP_APP,
     COLLECT_APP,

@@ -1,0 +1,122 @@
+"""EngineConfig: the one-object engine construction surface.
+
+Covers the frozen dataclass itself, the override splitting that
+``build_engine``/``resume_engine`` share, the worker variant, and the
+legacy keyword shim (the only place in the tree allowed to trip the
+``DeprecationWarning`` — pytest escalates it to an error elsewhere).
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.api import EngineConfig, SDEEngine, build_engine
+from repro.core.config import ENGINE_CONFIG_FIELDS, split_config_overrides
+from repro.core.engine import LEGACY_KWARGS_MESSAGE
+from repro.workloads import flood_scenario
+
+
+class TestConfigObject:
+    def test_frozen(self):
+        config = EngineConfig(horizon_ms=1000)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.horizon_ms = 2000
+
+    def test_sequences_normalized_to_tuples(self):
+        config = EngineConfig(horizon_ms=1000, boot_times=[0, 5, 10])
+        assert config.boot_times == (0, 5, 10)
+        assert isinstance(config.failure_models, tuple)
+
+    def test_replace_derives_variant(self):
+        config = EngineConfig(horizon_ms=1000)
+        derived = config.replace(max_states=7)
+        assert derived.max_states == 7 and config.max_states is None
+
+    def test_worker_variant_strips_parent_only_duties(self):
+        config = EngineConfig(
+            horizon_ms=1000,
+            check_invariants=True,
+            checkpoint_path="x.sdeckpt",
+            checkpoint_every_events=10,
+            checkpoint_every_seconds=1.0,
+        )
+        worker = config.worker_variant()
+        assert not worker.check_invariants
+        assert worker.checkpoint_path is None
+        assert worker.checkpoint_every_events is None
+        assert worker.checkpoint_every_seconds is None
+        assert worker.horizon_ms == 1000
+
+    def test_picklable(self):
+        config = EngineConfig(horizon_ms=1000, boot_times=(1, 2))
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_make_solver_honours_switches(self):
+        solver = EngineConfig(
+            horizon_ms=1, solver_cache=False, solver_optimize=False
+        ).make_solver()
+        assert solver.cache_stats() is None
+        assert not solver._optimize
+
+
+class TestOverrideSplitting:
+    def test_split_config_overrides(self):
+        config_part, rest = split_config_overrides(
+            {"max_states": 5, "trace": object(), "solver_optimize": False}
+        )
+        assert set(config_part) == {"max_states", "solver_optimize"}
+        assert set(rest) == {"trace"}
+
+    def test_field_inventory_matches_dataclass(self):
+        assert ENGINE_CONFIG_FIELDS == {
+            f.name for f in dataclasses.fields(EngineConfig)
+        }
+
+    def test_build_engine_routes_overrides_into_config(self):
+        engine = build_engine(
+            flood_scenario(3), "sds", max_states=123, solver_optimize=False
+        )
+        assert engine.config.max_states == 123
+        assert not engine.solver._optimize
+
+    def test_build_engine_rejects_unknown_override(self):
+        with pytest.raises(TypeError, match="unknown"):
+            build_engine(flood_scenario(3), "sds", not_a_knob=1)
+
+
+class TestLegacyKeywordShim:
+    def _parts(self):
+        scenario = flood_scenario(3)
+        from repro.core.scenario import make_mapper
+
+        return scenario.compiled(), scenario.topology, make_mapper("sds")
+
+    def test_keyword_form_warns_and_builds_equivalent_config(self):
+        program, topology, mapper = self._parts()
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            engine = SDEEngine(
+                program, topology, mapper, horizon_ms=500, max_states=9
+            )
+        assert engine.config == EngineConfig(horizon_ms=500, max_states=9)
+
+    def test_positional_horizon_still_accepted(self):
+        program, topology, mapper = self._parts()
+        with pytest.warns(DeprecationWarning):
+            engine = SDEEngine(program, topology, mapper, 500)
+        assert engine.config.horizon_ms == 500
+
+    def test_config_plus_legacy_keywords_is_an_error(self):
+        program, topology, mapper = self._parts()
+        with pytest.raises(TypeError, match="cannot mix"):
+            SDEEngine(
+                program,
+                topology,
+                mapper,
+                EngineConfig(horizon_ms=500),
+                max_states=9,
+            )
+
+    def test_message_constant_is_what_the_filter_matches(self):
+        # pyproject's filterwarnings entry match this text; keep them in sync.
+        assert "EngineConfig" in LEGACY_KWARGS_MESSAGE

@@ -1,0 +1,83 @@
+"""Solver optimization must be semantically invisible.
+
+The acceptance bar of the query-optimization pipeline: for every mapping
+algorithm, the canonical trace multiset of a run with the optimizer on
+is identical to the seed solver's (``solver_optimize=False``).  Memoized
+models, verdict memos, canonicalization and the counterexample cache may
+only change *how* a verdict is reached, never which verdict — and never
+a fork, a send, a delivery or a mapper copy downstream of one.
+
+Two workload shapes: the paper's flood/dissemination scenarios (failure
+branching decided at the engine level) and a symbolic-data program whose
+every receive branches on a ``symbolic()`` reading — the shape that
+actually exercises every tier of the pipeline.
+"""
+
+import pytest
+
+from repro.api import Scenario, Topology, TraceEmitter, build_engine
+from repro.obs import diff_traces
+from repro.workloads import dissemination_scenario, flood_scenario
+
+SYMBOLIC_READINGS = """
+var seen;
+func on_boot() { timer_set(0, 40 + node_id() * 7); }
+func on_timer(tid) {
+    var buf[1];
+    buf[0] = symbolic("reading", 8);
+    bc_send(buf, 1);
+}
+func on_recv(src, len) {
+    var v = recv_byte(0);
+    if (v > 64) { v -= 64; }
+    if (v > 32) { seen += 1; } else { seen += 2; }
+}
+"""
+
+
+def _traced(scenario, algorithm, optimize):
+    trace = TraceEmitter()
+    report = build_engine(
+        scenario, algorithm, trace=trace, solver_optimize=optimize
+    ).run()
+    return trace.events, report
+
+
+def _assert_equivalent(scenario, algorithm):
+    seed_events, seed = _traced(scenario, algorithm, optimize=False)
+    opt_events, opt = _traced(scenario, algorithm, optimize=True)
+    diff = diff_traces(seed_events, opt_events)
+    assert diff.equal, diff.render(limit=5)
+    seed_counters = seed.metrics["counters"]
+    opt_counters = opt.metrics["counters"]
+    for name in (
+        "states.total",
+        "run.events_executed",
+        "solver.queries",
+        "solver.sat_results",
+        "solver.unsat_results",
+    ):
+        assert opt_counters[name] == seed_counters[name], name
+
+
+@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
+def test_flood_traces_identical(algorithm):
+    _assert_equivalent(flood_scenario(3, rounds=2), algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
+def test_dissemination_traces_identical(algorithm):
+    _assert_equivalent(
+        dissemination_scenario(Topology.line(3), rounds=2), algorithm
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
+def test_symbolic_branching_traces_identical(algorithm):
+    scenario = Scenario(
+        name="symbolic-readings",
+        program=SYMBOLIC_READINGS,
+        topology=Topology.line(3),
+        horizon_ms=200,
+    )
+    _assert_equivalent(scenario, algorithm)

@@ -1,0 +1,165 @@
+"""ConstraintSet: structural sharing, memoized analysis, identity,
+pickling, and the no-per-query-materialization guarantee."""
+
+import pickle
+import tracemalloc
+
+from repro.expr import bv, eq, ne, ult, var
+from repro.solver import EMPTY, ConstraintSet, Model, Solver, as_constraint_set
+
+X = var("x")
+Y = var("y")
+
+
+class TestStructuralSharing:
+    def test_child_shares_parent_node(self):
+        parent = EMPTY.extended(ult(X, bv(10)))
+        child = parent.extended(ult(Y, bv(5)))
+        assert child.parent is parent
+        assert len(parent) == 1 and len(child) == 2
+        # Forks extend, never copy: the parent is untouched.
+        assert list(parent) == [ult(X, bv(10))]
+
+    def test_raw_is_memoized_and_prefix_shared(self):
+        parent = EMPTY.extended(ult(X, bv(10)))
+        child = parent.extended(ult(Y, bv(5)))
+        assert child.raw() is child.raw()
+        assert child.raw()[:1] == parent.raw()
+
+    def test_iteration_indexing_membership(self):
+        a, b = ult(X, bv(9)), ult(Y, bv(9))
+        cs = EMPTY.extended(a).extended(b)
+        assert list(cs) == [a, b]
+        assert cs[0] is a and cs[1] is b
+        assert a in cs and ne(X, bv(0)) not in cs
+        assert bool(cs) and not bool(EMPTY)
+
+    def test_as_constraint_set_passthrough_and_adapter(self):
+        cs = EMPTY.extended(eq(X, bv(1)))
+        assert as_constraint_set(cs) is cs
+        adapted = as_constraint_set([eq(X, bv(1))])
+        assert isinstance(adapted, ConstraintSet) and adapted == cs
+
+
+class TestIdentity:
+    def test_content_equality_with_tuple_and_set(self):
+        a = ult(X, bv(10))
+        cs = EMPTY.extended(a)
+        assert cs == (a,)
+        assert cs == EMPTY.extended(a)
+        assert hash(cs) == hash(EMPTY.extended(a))
+
+    def test_distinct_content_differs(self):
+        assert EMPTY.extended(eq(X, bv(1))) != EMPTY.extended(eq(X, bv(2)))
+        assert EMPTY.extended(eq(X, bv(1))) != EMPTY
+
+
+class TestPickleTransport:
+    def test_round_trip_preserves_content_and_rebuilds_memos(self):
+        cs = EMPTY.extended(eq(X, bv(5))).extended(ult(Y, bv(9)))
+        cs.seed_model(Model({"x": 5, "y": 0}))
+        clone = pickle.loads(pickle.dumps(cs))
+        assert clone == cs and hash(clone) == hash(cs)
+        # Memos are per-process: the seeded model does not travel (the
+        # zero-default model propagated from EMPTY fails eq(x,5), so the
+        # rebuilt chain carries none).
+        assert clone.cached_model() is None
+        hit, _ = clone.cached_verdict(eq(X, bv(5)))
+        assert not hit
+
+
+class TestModelMemo:
+    def test_zero_default_model_propagates_from_empty(self):
+        # EMPTY's pristine empty model (every variable defaults to 0)
+        # rides down any chain it satisfies — a fork starts at tier 0
+        # without ever having queried the solver.
+        cs = EMPTY.extended(ult(X, bv(10)))
+        model = cs.cached_model()
+        assert model is not None and model["x"] == 0
+
+    def test_seed_model_first_writer_wins(self):
+        # eq(x, 5) rejects the zero-default model, so the node starts bare.
+        cs = EMPTY.extended(eq(X, bv(5)))
+        assert cs.cached_model() is None
+        first, second = Model({"x": 5}), Model({"x": 5, "y": 9})
+        cs.seed_model(first)
+        cs.seed_model(second)
+        # Stability is what keeps one arm of every branch pair free.
+        assert cs.cached_model() is first
+
+    def test_extended_propagates_satisfying_model(self):
+        cs = EMPTY.extended(eq(X, bv(3)))
+        cs.seed_model(Model({"x": 3}))
+        child = cs.extended(ult(X, bv(5)))
+        assert child.cached_model() is cs.cached_model()
+
+    def test_extended_drops_violating_model(self):
+        cs = EMPTY.extended(eq(X, bv(7)))
+        cs.seed_model(Model({"x": 7}))
+        child = cs.extended(ult(X, bv(5)))
+        assert child.cached_model() is None
+
+
+class TestVerdictMemo:
+    def test_memo_round_trip(self):
+        cs = EMPTY.extended(ult(X, bv(10)))
+        sat_extra, unsat_extra = eq(X, bv(3)), eq(X, bv(200))
+        assert cs.cached_verdict(sat_extra) == (False, None)
+        model = Model({"x": 3})
+        cs.memo_verdict(sat_extra, model)
+        cs.memo_verdict(unsat_extra, None)
+        assert cs.cached_verdict(sat_extra) == (True, model)
+        assert cs.cached_verdict(unsat_extra) == (True, None)
+
+    def test_solver_answers_repeat_queries_from_the_memo(self):
+        solver = Solver()
+        cs = as_constraint_set([ult(X, bv(10))])
+        impossible = eq(X, bv(200))
+        assert not solver.may_be_true(cs, impossible)
+        before = solver.verdict_shortcuts
+        assert not solver.may_be_true(cs, impossible)
+        assert solver.verdict_shortcuts == before + 1
+        # The semantic counters never notice the shortcut.
+        assert solver.queries == 2 and solver.unsat_results == 2
+
+    def test_empty_singleton_never_memoizes(self):
+        solver = Solver()
+        condition = eq(var("fresh_empty_probe"), bv(1))
+        solver.may_be_true(EMPTY, condition)
+        solver.may_be_true(EMPTY, condition)
+        assert solver.verdict_shortcuts == 0
+        assert EMPTY.cached_verdict(condition) == (False, None)
+
+
+class TestAllocationRegression:
+    def test_repeat_query_cost_does_not_scale_with_path_length(self):
+        """A repeated query must not re-materialize the path condition.
+
+        The seed solver built ``list(constraints) + [condition]`` and
+        re-partitioned on *every* query — O(n) allocations even for a
+        question it had already answered.  With the memoized pipeline a
+        repeat is a node-local verdict lookup, so a 20x longer raw chain
+        must cost the same handful of bytes.
+        """
+
+        def warmed_repeat_peak(n):
+            solver = Solver()
+            cs = EMPTY
+            for i in range(n):
+                cs = cs.extended(ult(X, bv(100_000 + i)))
+            # eq(x, 77) defeats the propagated zero-default model, so the
+            # cold query runs the full pipeline and memoizes its verdict.
+            probe = eq(X, bv(77))
+            solver.may_be_true(cs, probe)
+            tracemalloc.start()
+            solver.may_be_true(cs, probe)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        small = warmed_repeat_peak(100)
+        large = warmed_repeat_peak(2000)
+        # Constant-factor slack only — any O(n) walk fails by orders of
+        # magnitude (the absolute term absorbs allocator jitter on what
+        # are sub-kilobyte numbers).
+        assert large < small * 3 + 2048, (small, large)

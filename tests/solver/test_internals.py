@@ -5,6 +5,7 @@ import pytest
 
 from repro.expr import Interval, add, bv, bvand, eq, mul, ne, ule, ult, var
 from repro.solver import (
+    CacheStats,
     Infeasible,
     Model,
     SearchBudgetExceeded,
@@ -101,6 +102,63 @@ class TestCacheDirect:
         cache.store(SolverCache.key([eq(A, bv(1))]), None)
         cache.clear()
         assert len(cache) == 0
+
+
+class TestCacheTierAccounting:
+    """Each tier answers its own shape of query and books its own counter
+    (the ``solver.cache.hit.*`` metrics the snapshot exports)."""
+
+    def test_cex_subset_proves_superset_unsat(self):
+        cache = SolverCache()
+        unsat_core = SolverCache.key([eq(A, bv(1)), eq(A, bv(2))])
+        cache.store(unsat_core, None)
+        superset = SolverCache.key([eq(A, bv(1)), eq(A, bv(2)), ult(B, bv(9))])
+        hit, result = cache.lookup(superset, frozenset([A, B]))
+        assert hit and result is None
+        assert cache.stats.cex_hits == 1 and cache.last_outcome == "cex"
+
+    def test_untriered_cache_has_no_cex_tier(self):
+        cache = SolverCache(tiered=False)
+        unsat_core = SolverCache.key([eq(A, bv(1)), eq(A, bv(2))])
+        cache.store(unsat_core, None)
+        superset = SolverCache.key([eq(A, bv(1)), eq(A, bv(2)), ult(B, bv(9))])
+        hit, _ = cache.lookup(superset, frozenset([A, B]))
+        assert not hit
+        assert cache.stats.cex_hits == 0 and cache.stats.misses == 1
+
+    def test_each_tier_books_exactly_one_counter(self):
+        cache = SolverCache()
+        key = SolverCache.key([ult(A, bv(10))])
+        cache.lookup(key, frozenset([A]))  # miss
+        cache.store(key, Model({"a": 3}))
+        cache.lookup(key, frozenset([A]))  # exact
+        wider = SolverCache.key([ult(A, bv(100))])
+        cache.lookup(wider, frozenset([A]))  # model reuse
+        stats = cache.stats.as_dict()
+        assert stats["miss"] == 1
+        assert stats["hit.exact"] == 1
+        assert stats["hit.model"] == 1
+        assert stats["hit.cex"] == 0
+        assert stats["stores"] == 1
+
+    def test_model_scan_skips_foreign_variable_models(self):
+        # A model assigning variables outside the query must never be
+        # reused — it would leak unconstrained assignments into merges.
+        cache = SolverCache()
+        cache.store(SolverCache.key([eq(B, bv(3))]), Model({"b": 3}))
+        hit, _ = cache.lookup(SolverCache.key([ult(A, bv(10))]), frozenset([A]))
+        assert not hit
+
+    def test_stats_restore_round_trip(self):
+        cache = SolverCache()
+        cache.store(SolverCache.key([eq(A, bv(1)), eq(A, bv(2))]), None)
+        cache.lookup(
+            SolverCache.key([eq(A, bv(1)), eq(A, bv(2)), ult(B, bv(9))]),
+            frozenset([A, B]),
+        )
+        snapshot = cache.stats.as_dict()
+        restored = CacheStats.restore(snapshot)
+        assert restored.as_dict() == snapshot
 
 
 class TestSearchBudget:

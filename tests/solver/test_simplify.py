@@ -1,0 +1,104 @@
+"""Canonicalization (`repro.solver.simplify`) must be semantics-preserving.
+
+The hypothesis property is the load-bearing one: over every assignment
+of the 4-bit variables, the simplified conjunction holds exactly when
+the original does — both directions, so simplification can neither drop
+models nor invent them, and ``None`` is returned only for genuinely
+unsatisfiable input.  The solver caches and reuses models against
+canonical forms, so any violation here silently corrupts verdicts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    add,
+    bv,
+    bvand,
+    bvxor,
+    eq,
+    evaluate,
+    mul,
+    ne,
+    not_,
+    or_,
+    sle,
+    slt,
+    sub,
+    ule,
+    ult,
+    var,
+)
+from repro.solver import simplify_conjuncts, substitute
+
+A4 = var("a4", 4)
+B4 = var("b4", 4)
+
+_atom_builders = [
+    lambda c: eq(A4, bv(c, 4)),
+    lambda c: ne(B4, bv(c, 4)),
+    lambda c: ult(A4, bv(c, 4)),
+    lambda c: ule(bv(c, 4), B4),
+    lambda c: slt(A4, bv(c, 4)),
+    lambda c: sle(B4, bv(c, 4)),
+    lambda c: eq(add(A4, B4), bv(c, 4)),
+    lambda c: ult(sub(A4, B4), bv(c, 4)),
+    lambda c: eq(bvand(A4, bv(0b101, 4)), bv(c % 6, 4)),
+    lambda c: ne(bvxor(A4, B4), bv(c, 4)),
+    lambda c: ult(mul(A4, bv(3, 4)), bv(c, 4)),
+]
+
+
+@st.composite
+def _random_conjuncts(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    atoms = []
+    for _ in range(n):
+        builder = draw(st.sampled_from(_atom_builders))
+        c = draw(st.integers(min_value=0, max_value=15))
+        atom = builder(c)
+        if draw(st.booleans()):
+            atom = not_(atom)
+        atoms.append(atom)
+    if draw(st.booleans()) and len(atoms) >= 2:
+        atoms = [or_(atoms[0], atoms[1])] + atoms[2:]
+    return atoms
+
+
+class TestSimplifyProperty:
+    @settings(max_examples=250, deadline=None)
+    @given(_random_conjuncts())
+    def test_equivalent_over_every_assignment(self, conjuncts):
+        simplified = simplify_conjuncts(conjuncts)
+        for a in range(16):
+            for b in range(16):
+                env = {"a4": a, "b4": b}
+                original = all(evaluate(c, env) for c in conjuncts)
+                if simplified is None:
+                    assert not original, (conjuncts, env)
+                else:
+                    reduced = all(evaluate(c, env) for c in simplified)
+                    assert original == reduced, (conjuncts, simplified, env)
+
+
+class TestSimplifyEdges:
+    def test_contradiction_is_none(self):
+        assert simplify_conjuncts([eq(A4, bv(1, 4)), eq(A4, bv(2, 4))]) is None
+
+    def test_tautology_folds_to_empty(self):
+        assert simplify_conjuncts([eq(bv(3, 4), bv(3, 4))]) == ()
+
+    def test_duplicate_bounds_subsume(self):
+        out = simplify_conjuncts(
+            [ult(A4, bv(9, 4)), ult(A4, bv(9, 4)), ult(A4, bv(12, 4))]
+        )
+        assert out == (ult(A4, bv(9, 4)),)
+
+    def test_equality_substitutes_into_siblings(self):
+        out = simplify_conjuncts([eq(A4, bv(3, 4)), ult(A4, bv(9, 4))])
+        # a4 == 3 makes the bound vacuous; only the equality remains.
+        assert out == (eq(A4, bv(3, 4)),)
+
+    def test_substitute_rewrites_under_env(self):
+        rewritten = substitute(add(A4, B4), {A4: bv(3, 4)})
+        assert evaluate(rewritten, {"b4": 2}) == 5
