@@ -15,6 +15,8 @@ and verdicts, counterexample tier) — and gates on two properties:
 
 All numbers come from the run's metrics snapshot — the same JSON
 contract ``repro run --metrics-out`` writes — not from solver internals.
+Headline numbers are persisted to the ``SDE_BENCH_JSON`` artifact (see
+``benchmarks/record.py``).
 
 The flood workload in ``repro.workloads`` never queries the solver (its
 drop failures are decided at the engine level), so the scenario here
@@ -25,6 +27,8 @@ data three deep, which is what issues branch-feasibility queries.
 import time
 
 from repro.api import Scenario, Topology, build_engine
+
+from benchmarks.record import record_bench
 
 SYMBOLIC_FLOOD = """
 var seen;
@@ -97,6 +101,13 @@ def test_optimizer_reduces_backend_solves(once, benchmark):
         f"optimized run slower: {opt_s:.2f}s vs {seed_s:.2f}s seed"
     )
 
+    record_bench(
+        solver_backend_groups_seed=seed_groups,
+        solver_backend_groups_optimized=opt_groups,
+        solver_group_reduction_pct=round(reduction * 100, 1),
+        solver_wall_clock_seed=round(seed_s, 3),
+        solver_wall_clock_optimized=round(opt_s, 3),
+    )
     benchmark.extra_info["seed_s"] = round(seed_s, 3)
     benchmark.extra_info["optimized_s"] = round(opt_s, 3)
     benchmark.extra_info["backend_groups_seed"] = seed_groups

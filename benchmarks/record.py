@@ -1,0 +1,49 @@
+"""Persistent benchmark recording (the ``BENCH_<pr>.json`` artifact).
+
+When ``SDE_BENCH_JSON`` names a file, benches call :func:`record_bench`
+with their headline numbers; values are merged into that JSON file
+(atomic replace, sorted keys) so the CI jobs can upload one
+machine-readable artifact per run and the perf trajectory stays
+comparable across PRs.  Without the env var the call is a no-op, so
+local ``pytest benchmarks/`` runs stay side-effect free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["record_bench", "bench_json_path"]
+
+
+def bench_json_path() -> str:
+    """The artifact path, or '' when recording is disabled."""
+    return os.environ.get("SDE_BENCH_JSON", "")
+
+
+def record_bench(**values) -> None:
+    """Merge ``values`` into the ``SDE_BENCH_JSON`` file, if configured."""
+    path = bench_json_path()
+    if not path:
+        return
+    merged = {}
+    try:
+        with open(path) as handle:
+            merged = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    merged.update(values)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

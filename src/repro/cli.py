@@ -14,12 +14,14 @@ Commands:
 Scenario selectors for run/compare/testcases: ``grid:<side>``,
 ``line:<k>``, ``flood:<k>`` (e.g. ``grid:5`` is the paper's 25-node grid).
 ``run`` accepts ``--trace-out events.jsonl`` and ``--metrics-out
-metrics.json`` to capture the structured observability artifacts.
+metrics.json`` to capture the structured observability artifacts, and
+``--no-fuse`` (or ``SDE_NO_FUSE=1``) to run on the unfused base ISA.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -75,10 +77,19 @@ def _emit_artifacts(report, trace, args):
         print(f"metrics written to {metrics_out}")
 
 
+def _fusion_disabled(args) -> bool:
+    """``--no-fuse`` or ``SDE_NO_FUSE=<anything but 0/empty>``."""
+    if getattr(args, "no_fuse", False):
+        return True
+    return os.environ.get("SDE_NO_FUSE", "") not in ("", "0")
+
+
 def _run_report(scenario, algorithm, args, **caps):
     """One run — parallel when ``--workers`` was given, sequential otherwise."""
     trace = TraceEmitter() if getattr(args, "trace_out", None) else None
     caps.update(_checkpoint_overrides(args))
+    if _fusion_disabled(args):
+        caps["fuse_ops"] = False
     if args.workers is not None:
         from .core.parallel import ParallelRunner
 
@@ -347,6 +358,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=None,
         help="per-partition wall-clock budget in seconds (workers only)",
+    )
+    run_parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        default=False,
+        help="disable opcode fusion (superinstructions); also honoured as"
+        " the SDE_NO_FUSE environment variable",
     )
     run_parser.set_defaults(handler=_cmd_run)
 

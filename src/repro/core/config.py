@@ -69,6 +69,16 @@ class EngineConfig:
     #: master switch for the query-optimization pipeline (canonicalization,
     #: tiered caching, model shortcuts); off = seed solver behaviour.
     solver_optimize: bool = True
+    # -- interpreter (repro.vm) ---------------------------------------------
+    #: fuse hot opcode pairs into superinstructions at decode time
+    #: (``repro run --no-fuse`` / ``SDE_NO_FUSE=1`` turn this off for
+    #: debugging miscompiled superinstructions).  Trace-invisible.
+    fuse_ops: bool = True
+    #: loop-increment reuse: build a loop iteration's path-condition
+    #: extension as a delta against the previous iteration's memoized
+    #: canonical form, and memoize per-conjunct model verdicts.
+    #: Trace- and verdict-invisible; only work counters move.
+    loop_reuse: bool = True
 
     def __post_init__(self) -> None:
         # Accept lists for convenience; store tuples so the config stays
@@ -108,6 +118,7 @@ class EngineConfig:
             use_cache=self.solver_cache,
             max_nodes=self.solver_max_nodes,
             optimize=self.solver_optimize,
+            loop_reuse=self.loop_reuse,
         )
 
 

@@ -158,6 +158,7 @@ class SDEEngine:
             self.solver,
             host=NodeOS(self),
             max_steps_per_event=config.max_steps_per_event,
+            fuse_ops=config.fuse_ops,
         )
         self.failure_models = list(config.failure_models)
         self.preset_globals = dict(config.preset_globals or {})

@@ -104,16 +104,30 @@ class StatsRecorder:
         events_executed: int,
         groups: int,
     ) -> Sample:
-        states = list(states)
-        accounted = self._image_cost + sum(
-            estimate_state_bytes(state) for state in states
-        )
+        # Single fused pass: the cost-model arithmetic is inlined (no
+        # per-state function call) and the live count shares the loop —
+        # sampling is a per-64-events hot path over every state alive.
+        accounted = self._image_cost
+        live = 0
+        total = 0
+        for state in states:
+            total += 1
+            status = state.status
+            if status == "idle" or status == "running":  # is_active, inlined
+                live += 1
+            accounted += (
+                STATE_BASE_COST
+                + CELL_COST * len(state.memory)
+                + EVENT_COST * len(state.events)
+                + CONSTRAINT_COST * state.constraints._size
+                + HISTORY_COST * len(state.history)
+            )
         sample = Sample(
             wall_seconds=time.perf_counter() - self._started,
             virtual_ms=virtual_ms,
             events_executed=events_executed,
-            live_states=sum(1 for s in states if s.is_active()),
-            total_states=len(states),
+            live_states=live,
+            total_states=total,
             accounted_bytes=accounted,
             rss_bytes=process_rss_bytes(),
             groups=groups,

@@ -124,7 +124,7 @@ def clear_intern_cache() -> None:
 class Expr:
     """Base class of all expression nodes."""
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_vars")
 
     #: Distinguishes the boolean sort from the bitvector sort.
     is_bool = False
@@ -146,7 +146,14 @@ class Expr:
         return self is not other
 
     def variables(self) -> frozenset:
-        """The set of :class:`BVVar` nodes occurring in this expression."""
+        """The set of :class:`BVVar` nodes occurring in this expression.
+
+        Memoized per node (nodes are interned and immutable, so the set
+        never changes); subgraphs with a memo are not re-walked.
+        """
+        cached = getattr(self, "_vars", None)
+        if cached is not None:
+            return cached
         out = set()
         stack = [self]
         seen = set()
@@ -155,11 +162,16 @@ class Expr:
             if id(node) in seen:
                 continue
             seen.add(id(node))
-            if isinstance(node, BVVar):
+            child_cached = getattr(node, "_vars", None)
+            if child_cached is not None:
+                out.update(child_cached)
+            elif isinstance(node, BVVar):
                 out.add(node)
             else:
                 stack.extend(node.children())
-        return frozenset(out)
+        result = frozenset(out)
+        self._vars = result
+        return result
 
     def walk(self) -> Iterator["Expr"]:
         """Yield every distinct node of the DAG exactly once (pre-order)."""

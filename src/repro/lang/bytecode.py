@@ -9,14 +9,39 @@ shallow list copy.  Recursion is rejected at compile time.
 The machine is a classic operand-stack machine.  Every instruction is an
 ``(opcode, arg)`` pair; ``arg`` is an int, a tuple, a string, or None
 depending on the opcode (documented per opcode below).
+
+Compiler output stops at the base ISA (opcodes < 70).  The *decoder*
+(:func:`decode_program`) is a separate, deterministic pass the executor
+runs once per program: it pre-masks immediates, resolves ``CALL`` args to
+``(entry, parameter addresses)``, finds back-edges (the loop structure
+the loop-navigation layer keys on), and — when fusion is enabled —
+rewrites the hottest adjacent pairs (plus the 4-wide loop-increment
+pattern) into *superinstructions* (opcodes >= 70).  Fusion is
+slot-preserving: a fused instruction occupies the first constituent's
+slot while the remaining slots keep their original decoded instructions,
+so a jump into the middle of a fused sequence still lands on real code.
+See ``docs/VM.md`` for the dispatch architecture.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Tuple
 
-__all__ = ["Op", "Instr", "FuncInfo", "CompiledProgram", "disassemble"]
+__all__ = [
+    "Op",
+    "Instr",
+    "FuncInfo",
+    "CompiledProgram",
+    "DecodedProgram",
+    "decode_program",
+    "find_back_edges",
+    "disassemble",
+]
+
+#: Guest cells are 32-bit; the decoder pre-masks every immediate so the
+#: executor's PUSH handler is a bare list append.
+MASK32 = 0xFFFFFFFF
 
 
 class Op(enum.IntEnum):
@@ -63,6 +88,38 @@ class Op(enum.IntEnum):
 
     POP = 60      # v --
     DUP = 61      # v -- v v
+
+    # -- superinstructions (decoder-only; never emitted by the compiler) --
+    # Each fuses the two (INC_MEM: four) base instructions named by its
+    # constituents; the stack effect is the composition of theirs.  The
+    # second operand of a fused binary op always comes from the fused
+    # LOAD/PUSH (it was pushed last), matching the unfused evaluation.
+    LOAD_LOAD = 70    # arg=(a, b)          ; -- mem[a] mem[b]
+    PUSH_LOAD = 71    # arg=(imm, addr)     ; -- imm mem[addr]
+    LOAD_PUSH = 72    # arg=(addr, imm)     ; -- mem[addr] imm
+    PUSH_STORE = 73   # arg=(imm, addr)     ; --            (mem[addr]=imm)
+    LOAD_STORE = 74   # arg=(src, dst)      ; --            (mem[dst]=mem[src])
+    LOAD_ARITH = 75   # arg=(addr, op)      ; a -- a<op>mem[addr]
+    PUSH_ARITH = 76   # arg=(imm, op)       ; a -- a<op>imm
+    ARITH_STORE = 77  # arg=(op, addr)      ; a b --        (mem[addr]=a<op>b)
+    CMP_JZ = 78       # arg=(op, target)    ; a b --  (branch if !(a<op>b))
+    CMP_JNZ = 79      # arg=(op, target)    ; a b --  (branch if a<op>b)
+    INC_MEM = 80      # arg=(addr, imm, op) ; --  (mem[addr]=mem[addr]<op>imm)
+    ARITH_ARITH = 81  # arg=(op1, op2)      ; a b c -- a<op2>(b<op1>c)
+    ARITH_LOAD = 82   # arg=(op, addr)      ; a b -- a<op>b mem[addr]
+
+
+#: Binary arithmetic opcodes eligible for fusion.  Divisive ops trap on
+#: zero and unary ops have a different arity, so both stay unfused.
+FUSABLE_ARITH: FrozenSet[Op] = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.BAND, Op.BOR, Op.BXOR, Op.SHL, Op.ASHR, Op.LSHR}
+)
+
+#: Binary comparisons eligible for compare+branch fusion (LNOT/BOOL are
+#: unary and never directly precede a branch in compiler output anyway).
+FUSABLE_CMP: FrozenSet[Op] = frozenset(
+    {Op.EQ, Op.NE, Op.SLT, Op.SLE, Op.ULT, Op.ULE}
+)
 
 
 class Instr(NamedTuple):
@@ -118,6 +175,27 @@ class CompiledProgram:
         self.initializers = initializers
         self.source = source
         self.strings: List[str] = strings if strings is not None else []
+        self._decoded: Dict[bool, "DecodedProgram"] = {}
+
+    def decoded(self, fuse: bool = True) -> "DecodedProgram":
+        """The decoder output, computed once per (program, fuse) pair.
+
+        The cache never travels: decoding is deterministic, so worker
+        processes and checkpoint restores recompute it locally.
+        """
+        cached = self._decoded.get(fuse)
+        if cached is None:
+            cached = self._decoded[fuse] = decode_program(self, fuse=fuse)
+        return cached
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_decoded", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._decoded = {}
 
     def function(self, name: str) -> Optional[FuncInfo]:
         index = self.function_index.get(name)
@@ -134,6 +212,142 @@ class CompiledProgram:
             f"CompiledProgram({len(self.functions)} funcs,"
             f" {len(self.code)} instrs, {self.memory_size} cells)"
         )
+
+
+class DecodedProgram(NamedTuple):
+    """Pure-data decoder output (ints/tuples/strings only — picklable,
+    though in practice it is recomputed rather than shipped).
+
+    ``code[pc]`` is ``(op, arg, line)`` with ``op`` a plain int.  Fused
+    slots hold a superinstruction while the constituents' slots keep
+    their original decoded form, so every jump target is real code.
+    """
+
+    code: Tuple[Tuple[int, object, int], ...]
+    jump_targets: FrozenSet[int]
+    back_edges: Tuple[Tuple[int, int], ...]   # (jump pc, target <= pc)
+    loop_headers: FrozenSet[int]              # back-edge targets
+    fused: int                                # superinstructions emitted
+
+
+def find_back_edges(program: CompiledProgram) -> Tuple[Tuple[int, int], ...]:
+    """All ``(jump_pc, target)`` pairs with ``target <= jump_pc``.
+
+    Compiler output is reducible (structured while/if only), so every
+    back-edge is a loop latch and its target the loop header — the pcs
+    the loop-increment-reuse layer treats as iteration boundaries.
+    """
+    edges = []
+    for pc, instr in enumerate(program.code):
+        if instr.op in (Op.JMP, Op.JZ, Op.JNZ) and instr.arg <= pc:
+            edges.append((pc, instr.arg))
+    return tuple(edges)
+
+
+def _decode_instr(instr: Instr, program: CompiledProgram) -> Tuple[int, object, int]:
+    """Base-ISA operand pre-decoding: one triple the executor never
+    re-interprets.  Immediates are pre-masked; CALL args become
+    ``(entry, parameter addresses in pop order)``."""
+    op = int(instr.op)
+    arg = instr.arg
+    if op == Op.PUSH:
+        arg = instr.arg & MASK32
+    elif op == Op.CALL:
+        func = program.functions[instr.arg[0]]
+        nargs = instr.arg[1]
+        addrs = tuple(func.param_base + k for k in range(nargs - 1, -1, -1))
+        arg = (func.entry, addrs)
+    return (op, arg, instr.line)
+
+
+#: (first op, second op) -> superinstruction for the pair-fusion pass.
+_PAIR_FUSION: Dict[Tuple[int, int], int] = {}
+for _second, _fused in ((Op.LOAD, Op.LOAD_LOAD), (Op.PUSH, Op.LOAD_PUSH),
+                        (Op.STORE, Op.LOAD_STORE)):
+    _PAIR_FUSION[(int(Op.LOAD), int(_second))] = int(_fused)
+for _second, _fused in ((Op.LOAD, Op.PUSH_LOAD), (Op.STORE, Op.PUSH_STORE)):
+    _PAIR_FUSION[(int(Op.PUSH), int(_second))] = int(_fused)
+for _arith in FUSABLE_ARITH:
+    _PAIR_FUSION[(int(Op.LOAD), int(_arith))] = int(Op.LOAD_ARITH)
+    _PAIR_FUSION[(int(Op.PUSH), int(_arith))] = int(Op.PUSH_ARITH)
+    _PAIR_FUSION[(int(_arith), int(Op.STORE))] = int(Op.ARITH_STORE)
+    _PAIR_FUSION[(int(_arith), int(Op.LOAD))] = int(Op.ARITH_LOAD)
+    for _arith2 in FUSABLE_ARITH:
+        _PAIR_FUSION[(int(_arith), int(_arith2))] = int(Op.ARITH_ARITH)
+for _cmp in FUSABLE_CMP:
+    _PAIR_FUSION[(int(_cmp), int(Op.JZ))] = int(Op.CMP_JZ)
+    _PAIR_FUSION[(int(_cmp), int(Op.JNZ))] = int(Op.CMP_JNZ)
+del _second, _fused, _arith, _arith2, _cmp
+
+#: Superinstructions whose arg pairs (first's operand, second's operand).
+#: LOAD_ARITH/PUSH_ARITH keep (operand, op); ARITH_* put the op first.
+_ARG_FROM_FIRST = frozenset(
+    {int(Op.LOAD_LOAD), int(Op.PUSH_LOAD), int(Op.LOAD_PUSH),
+     int(Op.PUSH_STORE), int(Op.LOAD_STORE), int(Op.LOAD_ARITH),
+     int(Op.PUSH_ARITH)}
+)
+
+
+def _fuse(code: List[Tuple[int, object, int]],
+          jump_targets: FrozenSet[int]) -> int:
+    """Greedy in-place superinstruction rewrite; returns the fusion count.
+
+    A sequence fuses only when its interior pcs are not jump targets
+    (a jump into the middle must land on the original instruction —
+    which it still does, because constituent slots are left intact).
+    """
+    fused = 0
+    pc, end = 0, len(code)
+    while pc < end:
+        op, arg, line = code[pc]
+        # 4-wide loop increment: LOAD a; PUSH k; <arith>; STORE a.
+        if (op == Op.LOAD and pc + 3 < end
+                and code[pc + 1][0] == Op.PUSH
+                and code[pc + 2][0] in FUSABLE_ARITH
+                and code[pc + 3][0] == Op.STORE
+                and code[pc + 3][1] == arg
+                and not any(p in jump_targets for p in range(pc + 1, pc + 4))):
+            code[pc] = (int(Op.INC_MEM), (arg, code[pc + 1][1], code[pc + 2][0]), line)
+            fused += 1
+            pc += 4
+            continue
+        if pc + 1 < end and pc + 1 not in jump_targets:
+            op2, arg2, _ = code[pc + 1]
+            super_op = _PAIR_FUSION.get((op, op2))
+            if super_op is not None:
+                # Each half contributes its operand, or its opcode when
+                # it has none (the fused arith/compare member).
+                first = arg if super_op in _ARG_FROM_FIRST else op
+                second = arg2 if arg2 is not None else op2
+                code[pc] = (super_op, (first, second), line)
+                fused += 1
+                pc += 2
+                continue
+        pc += 1
+    return fused
+
+
+def decode_program(program: CompiledProgram, fuse: bool = True) -> DecodedProgram:
+    """Run the full decode pipeline over a compiled program."""
+    targets = set()
+    for pc, instr in enumerate(program.code):
+        if instr.op in (Op.JMP, Op.JZ, Op.JNZ):
+            targets.add(instr.arg)
+        elif instr.op == Op.CALL:
+            targets.add(pc + 1)  # return address
+    for func in program.functions:
+        targets.add(func.entry)
+    jump_targets = frozenset(targets)
+    code = [_decode_instr(instr, program) for instr in program.code]
+    fused = _fuse(code, jump_targets) if fuse else 0
+    back_edges = find_back_edges(program)
+    return DecodedProgram(
+        code=tuple(code),
+        jump_targets=jump_targets,
+        back_edges=back_edges,
+        loop_headers=frozenset(t for _, t in back_edges),
+        fused=fused,
+    )
 
 
 def disassemble(program: CompiledProgram) -> str:

@@ -111,6 +111,7 @@ class SolverCache:
         max_unsat_entries: int = 4096,
         max_subset_scan: int = 64,
         tiered: bool = True,
+        model_memo: bool = False,
     ) -> None:
         self._exact: "OrderedDict[Key, Optional[Model]]" = OrderedDict()
         self._models: "OrderedDict[Model, None]" = OrderedDict()
@@ -127,6 +128,10 @@ class SolverCache:
         self._max_unsat_entries = max_unsat_entries
         self._max_subset_scan = max_subset_scan
         self._tiered = tiered
+        # Memoize per-conjunct verdicts on scanned models (the
+        # loop-increment-reuse path): iterations of the same loop probe
+        # the same models with mostly the same conjuncts.
+        self._model_memo = model_memo
         self.stats = CacheStats()
         #: how the most recent lookup was answered; read by the solver's
         #: trace instrumentation ("exact"/"cex"/"model"/"miss").
@@ -213,7 +218,7 @@ class SolverCache:
                 stored_key = self._model_keys.get(model)
                 if stored_key is not None and stored_key <= key:
                     probe = key - stored_key  # evaluate only the extras
-            if model.satisfies(probe):
+            if model.satisfies(probe, memo=self._model_memo):
                 self.stats.model_scan_steps += evaluated
                 return model
         self.stats.model_scan_steps += evaluated

@@ -99,10 +99,17 @@ class ConstraintSet:
     # -- construction --------------------------------------------------------
 
     def extended(self, conjunct: BoolExpr) -> "ConstraintSet":
-        """The set plus one conjunct; propagates a still-valid model."""
+        """The set plus one conjunct; propagates a still-valid model.
+
+        The satisfaction check memoizes per-conjunct verdicts on the
+        model: loop iterations re-extend with structurally repeating
+        conjuncts, and sibling forks re-test the same conjunct against
+        the same inherited model.  Semantically invisible — the verdict
+        is deterministic — so it is not gated behind ``loop_reuse``.
+        """
         child = ConstraintSet(self, conjunct)
         model = self._model
-        if model is not None and model.satisfies((conjunct,)):
+        if model is not None and model.satisfies((conjunct,), memo=True):
             child._model = model
         return child
 
@@ -212,12 +219,24 @@ class ConstraintSet:
 
     # -- canonical view -------------------------------------------------------
 
-    def canonical(self, stats=None) -> Optional[Tuple[BoolExpr, ...]]:
+    def canonical(
+        self, stats=None, delta: bool = False
+    ) -> Optional[Tuple[BoolExpr, ...]]:
         """The simplified conjunct tuple; ``None`` = provably UNSAT.
 
         Computed once per node by extending the parent's canonical form
         (see module docstring); ``stats`` is an optional mutable mapping
         collecting ``simplify.*`` counter increments.
+
+        ``delta=True`` (the loop-increment-reuse path): when the new
+        conjunct introduces an implied equality, only the inherited
+        conjuncts sharing variables with it are re-simplified — a delta
+        against the parent's memoized form instead of a full rerun.
+        Sound because the rewrite rules are variable-local: conjuncts
+        disjoint from the equality are fixpoints of the substitution,
+        so the partial form is equisatisfiable with the full one (a
+        cross-group contradiction is still found by the backend after
+        the shared-variable groups merge).
         """
         if self._canonical is not _UNSET:
             return self._canonical
@@ -227,10 +246,10 @@ class ConstraintSet:
             pending.append(node)
             node = node.parent
         for entry in reversed(pending):
-            entry._extend_canonical(stats)
+            entry._extend_canonical(stats, delta)
         return self._canonical
 
-    def _extend_canonical(self, stats) -> None:
+    def _extend_canonical(self, stats, delta: bool = False) -> None:
         parent = self.parent
         base = parent._canonical
         if base is None:  # already UNSAT: stays UNSAT
@@ -259,7 +278,10 @@ class ConstraintSet:
                 self._mark_unsat(stats)
                 return
             if _introduces_equality(conjunct, eqs):
-                self._resimplify(base + (conjunct,), stats)
+                if delta:
+                    self._resimplify_delta(base, conjunct, stats)
+                else:
+                    self._resimplify(base + (conjunct,), stats)
                 return
             # Plain append: canonical grows by exactly this conjunct.
             self._canonical = base + (conjunct,)
@@ -300,6 +322,36 @@ class ConstraintSet:
         self._canonical = simplified
         self._eqs = _equality_env(simplified)
         self._digest = frozenset(simplified)
+
+    def _resimplify_delta(
+        self, base: Tuple[BoolExpr, ...], conjunct: BoolExpr, stats
+    ) -> None:
+        """Re-simplify only the conjuncts sharing variables with the new
+        equality; everything else is carried over verbatim (see
+        :meth:`canonical` for the soundness argument)."""
+        variables = conjunct.variables()
+        touched: List[BoolExpr] = []
+        untouched: List[BoolExpr] = []
+        for prior in base:
+            if prior.variables() & variables:
+                touched.append(prior)
+            else:
+                untouched.append(prior)
+        touched.append(conjunct)
+        simplified = simplify_conjuncts(tuple(touched))
+        if stats is not None:
+            stats["delta"] = stats.get("delta", 0) + 1
+            if simplified is not None:
+                removed = len(touched) - len(simplified)
+                if removed > 0:
+                    stats["removed"] = stats.get("removed", 0) + removed
+        if simplified is None:
+            self._mark_unsat(stats)
+            return
+        combined = tuple(untouched) + simplified
+        self._canonical = combined
+        self._eqs = _equality_env(combined)
+        self._digest = frozenset(combined)
 
     def digest(self) -> FrozenSet[BoolExpr]:
         """Canonical conjuncts as a set (empty when UNSAT)."""

@@ -81,8 +81,24 @@ class Solver:
         use_cache: bool = True,
         max_nodes: int = 200_000,
         optimize: bool = True,
+        loop_reuse: bool = True,
     ) -> None:
-        self._cache = SolverCache(tiered=optimize) if use_cache else None
+        # loop_reuse: the loop-increment-reuse layer (EngineConfig
+        # field of the same name).  When a symbolic loop body re-executes
+        # along the same control path, its iterations extend the path
+        # condition with structurally repeating conjuncts; this flag (a)
+        # memoizes per-conjunct verdicts on models, so tier-0 and the
+        # cache's model-reuse scan only evaluate each (model, conjunct)
+        # pair once, and (b) canonicalizes the iteration's extension as a
+        # delta against the parent's memoized form instead of a full
+        # re-simplification.  Verdicts and traces are bit-identical with
+        # it off; only volatile work counters move.
+        self._loop_reuse = loop_reuse and optimize
+        self._cache = (
+            SolverCache(tiered=optimize, model_memo=self._loop_reuse)
+            if use_cache
+            else None
+        )
         self._max_nodes = max_nodes
         self._optimize = optimize
         # Deterministic, semantic counters (see module docstring).
@@ -246,6 +262,7 @@ class Solver:
             "shortcuts.verdict": self.verdict_shortcuts,
             "simplify.runs": stats.get("runs", 0),
             "simplify.resimplify": stats.get("resimplify", 0),
+            "simplify.delta": stats.get("delta", 0),
             "simplify.removed": stats.get("removed", 0),
             "simplify.contradictions": stats.get("contradictions", 0),
         }
@@ -258,7 +275,7 @@ class Solver:
         self.backend_searches = int(mapping.get("backend.searches", 0))
         self.model_shortcuts = int(mapping.get("shortcuts.model", 0))
         self.verdict_shortcuts = int(mapping.get("shortcuts.verdict", 0))
-        for name in ("runs", "resimplify", "removed", "contradictions"):
+        for name in ("runs", "resimplify", "delta", "removed", "contradictions"):
             value = int(mapping.get(f"simplify.{name}", 0))
             if value:
                 self.simplify_stats[name] = value
@@ -276,7 +293,7 @@ class Solver:
         if self._optimize:
             model = cset.cached_model()
             if model is not None and (
-                extra is None or model.satisfies((extra,))
+                extra is None or model.satisfies((extra,), memo=self._loop_reuse)
             ):
                 self.model_shortcuts += 1
                 self.sat_results += 1
@@ -340,7 +357,7 @@ class Solver:
             return conjuncts, partition(list(conjuncts))
 
         stats = self.simplify_stats
-        base = cset.canonical(stats)
+        base = cset.canonical(stats, delta=self._loop_reuse)
         if base is None:
             return None, None
         if extra is None:

@@ -23,10 +23,15 @@ class Model:
     cache (checking whether an old model also satisfies a new query).
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_memo")
 
     def __init__(self, values: Dict[str, int]) -> None:
         self._values = dict(values)
+        # Lazy per-conjunct verdict memo: constraint expr -> bool.  Sound
+        # because the assignment is immutable and expressions interned;
+        # populated only through satisfies(..., memo=True) so the seed
+        # evaluation path stays allocation-free.
+        self._memo: Dict[BoolExpr, bool] = {}
 
     def __getitem__(self, name: str) -> int:
         return self._values.get(name, 0)
@@ -49,21 +54,35 @@ class Model:
     def as_dict(self) -> Dict[str, int]:
         return dict(self._values)
 
-    def satisfies(self, constraints: Iterable[BoolExpr]) -> bool:
+    def satisfies(self, constraints: Iterable[BoolExpr], memo: bool = False) -> bool:
         """True iff every constraint evaluates to true under this model.
 
         Variables absent from the model default to 0 — the solver only
         assigns variables its query mentions, and any completion of a
         satisfying partial assignment over unmentioned variables also
         satisfies the query.
+
+        With ``memo=True`` each conjunct's verdict is cached on the
+        model, so re-checking a loop iteration's constraint prefix only
+        evaluates the new conjuncts (the loop-increment-reuse path).
         """
         env = self._values
+        cache = self._memo if memo else None
         for constraint in constraints:
+            if cache is not None:
+                cached = cache.get(constraint)
+                if cached is not None:
+                    if not cached:
+                        return False
+                    continue
             missing = {
                 v.name: 0 for v in constraint.variables() if v.name not in env
             }
             scope = {**env, **missing} if missing else env
-            if not evaluate(constraint, scope):
+            verdict = bool(evaluate(constraint, scope))
+            if cache is not None:
+                cache[constraint] = verdict
+            if not verdict:
                 return False
         return True
 
@@ -75,6 +94,10 @@ class Model:
         merged = dict(self._values)
         merged.update(other._values)
         return Model(merged)
+
+    def __reduce__(self):
+        # Drop the verdict memo from snapshots; it is recomputable.
+        return (Model, (self._values,))
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))

@@ -17,6 +17,23 @@ branch"), while COW/SDS react to transmissions via the syscall host instead.
 
 The executor is deliberately ignorant of networking: everything beyond pure
 computation goes through a :class:`SyscallHost`.
+
+Two interpreter loops coexist (selected by ``table_dispatch``):
+
+- the *threaded* loop (default): each pc indexes a precomputed
+  ``(bound handler, specialized arg, line)`` triple built from the
+  decoder output, so dispatch is one tuple index and one call — no
+  opcode comparison chain, no operand re-interpretation, and fused
+  superinstructions collapse 2–4 dispatches into one;
+- the *baseline* loop: the original if/elif chain over ``program.code``,
+  kept as the semantic reference for A/B benchmarks and equivalence
+  tests, and for single-instruction :meth:`Executor.step`.
+
+Both produce bit-identical traces, forks, verdicts, counters and
+coverage (fused handlers account their constituents' steps, instruction
+counts and visited pcs).  The only observable divergence is the step
+*limit* boundary: a superinstruction is not split by the limit, so a
+limit-truncated event may die up to three base instructions later.
 """
 
 from __future__ import annotations
@@ -54,7 +71,7 @@ from ..expr import (
     var,
     zext,
 )
-from ..lang.bytecode import CompiledProgram, Op
+from ..lang.bytecode import CompiledProgram, DecodedProgram, Op
 from ..solver import Solver
 from .errors import ErrorKind, GuestError
 from .state import CellValue, ExecutionState, Status
@@ -64,6 +81,11 @@ __all__ = ["Executor", "SyscallHost", "NullHost"]
 
 _MASK32 = 0xFFFFFFFF
 _RETURN_SENTINEL = -1
+#: Interned constants for compare results — identical objects to what
+#: ``bv(1)``/``bv(0)`` return, so fused and unfused comparisons build
+#: the exact same expression graph.
+_BV_ONE = bv(1)
+_BV_ZERO = bv(0)
 
 ForkCallback = Callable[[ExecutionState, List[ExecutionState]], None]
 
@@ -113,6 +135,8 @@ class Executor:
         solver: Optional[Solver] = None,
         host: Optional[SyscallHost] = None,
         max_steps_per_event: int = 1_000_000,
+        fuse_ops: bool = True,
+        table_dispatch: bool = True,
     ) -> None:
         self.program = program
         self.solver = solver if solver is not None else Solver()
@@ -123,6 +147,14 @@ class Executor:
         #: every program counter ever dispatched, across all states — the
         #: raw data behind repro.vm.coverage.coverage_report.
         self.visited_pcs = set()
+        self.fuse_ops = fuse_ops
+        #: plain attribute so benches can flip it post-construction to
+        #: A/B the threaded loop against the baseline chain.
+        self.table_dispatch = table_dispatch
+        self.decoded: DecodedProgram = program.decoded(fuse=fuse_ops)
+        self._threaded = tuple(
+            self._bind(op, arg, line) for op, arg, line in self.decoded.code
+        )
 
     # -- state construction ---------------------------------------------------
 
@@ -194,15 +226,64 @@ class Executor:
         return done
 
     def step(self, state: ExecutionState) -> List[ExecutionState]:
-        """Execute exactly one instruction (test/debug entry point)."""
-        return self._execute(state, single=True)
+        """Execute exactly one *base* instruction (test/debug entry point).
 
-    # -- the interpreter loop ------------------------------------------------------
+        Always uses the baseline interpreter so stepping granularity is
+        the unfused ISA regardless of ``fuse_ops``.
+        """
+        return self._execute_baseline(state, single=True)
+
+    # -- the interpreter loops -----------------------------------------------------
 
     def _run_until_fork(self, state: ExecutionState) -> List[ExecutionState]:
-        return self._execute(state, single=False)
+        if self.table_dispatch:
+            return self._execute_threaded(state)
+        return self._execute_baseline(state, single=False)
 
     def _execute(
+        self, state: ExecutionState, single: bool
+    ) -> List[ExecutionState]:
+        """Route to the configured interpreter loop."""
+        if self.table_dispatch and not single:
+            return self._execute_threaded(state)
+        return self._execute_baseline(state, single)
+
+    def _execute_threaded(self, state: ExecutionState) -> List[ExecutionState]:
+        """The table-dispatch loop: one tuple index + one call per pc.
+
+        ``instructions_executed`` is batched into a loop-local counter
+        and flushed on exit; fused handlers account their extra
+        constituents directly on the instance attribute.
+        """
+        threaded = self._threaded
+        visited = self.visited_pcs
+        limit = self.max_steps_per_event
+        dispatched = 0
+        try:
+            while True:
+                if state.steps >= limit:
+                    return [
+                        self._die(
+                            state,
+                            GuestError(
+                                ErrorKind.STEP_LIMIT,
+                                f"event exceeded {limit} steps",
+                            ),
+                        )
+                    ]
+                pc = state.pc
+                handler, arg, line = threaded[pc]
+                visited.add(pc)
+                state.pc = pc + 1
+                state.steps += 1
+                dispatched += 1
+                outcome = handler(state, arg, line)
+                if outcome is not None:
+                    return outcome
+        finally:
+            self.instructions_executed += dispatched
+
+    def _execute_baseline(
         self, state: ExecutionState, single: bool
     ) -> List[ExecutionState]:
         """Run ``state`` until it forks, finishes its event, or dies.
@@ -240,11 +321,13 @@ class Executor:
             elif op == Op.STORE:
                 memory[instr.arg] = _mask_cell(opstack.pop())
             elif op == Op.LOADI:
-                outcome = self._indexed(state, instr, load=True)
+                base, size = instr.arg
+                outcome = self._indexed(state, base, size, instr.line, load=True)
                 if outcome is not None:
                     return outcome
             elif op == Op.STOREI:
-                outcome = self._indexed(state, instr, load=False)
+                base, size = instr.arg
+                outcome = self._indexed(state, base, size, instr.line, load=False)
                 if outcome is not None:
                     return outcome
             elif Op.ADD <= op <= Op.BNOT:
@@ -285,7 +368,8 @@ class Executor:
                     return [state]
                 state.pc = return_pc
             elif op == Op.SYS:
-                outcome = self._syscall(state, instr)
+                name, nargs = instr.arg
+                outcome = self._syscall(state, name, nargs, instr.line)
                 if outcome is not None:
                     return outcome
             elif op == Op.POP:
@@ -297,6 +381,365 @@ class Executor:
 
             if single:
                 return [state]
+
+    # -- threaded dispatch: binding ------------------------------------------------
+
+    def _bind(self, op, arg, line):
+        """Specialize one decoded instruction into ``(handler, arg, line)``.
+
+        Runs once per pc at construction: all per-opcode decisions and
+        dict lookups (arith/compare function pairs) happen here, so the
+        hot loop only indexes a tuple and calls.
+        """
+        if op == Op.PUSH:
+            return (self._op_push, arg, line)
+        if op == Op.LOAD:
+            return (self._op_load, arg, line)
+        if op == Op.STORE:
+            return (self._op_store, arg, line)
+        if op == Op.LOADI:
+            return (self._op_loadi, arg, line)
+        if op == Op.STOREI:
+            return (self._op_storei, arg, line)
+        if Op.ADD <= op <= Op.BNOT:
+            if op in _DIVISIVE:
+                return (
+                    self._op_divide,
+                    (_CONCRETE_ARITH[op], _SYMBOLIC_ARITH[op]),
+                    line,
+                )
+            if op == Op.NEG or op == Op.BNOT:
+                return (self._op_unary, op, line)
+            return (
+                self._op_arith2,
+                (_CONCRETE_ARITH[op], _SYMBOLIC_ARITH[op]),
+                line,
+            )
+        if Op.EQ <= op <= Op.BOOL:
+            if op == Op.LNOT or op == Op.BOOL:
+                return (self._op_truth, op, line)
+            return (self._op_cmp2, (_CONCRETE_CMP[op], _SYMBOLIC_CMP[op]), line)
+        if op == Op.JMP:
+            return (self._op_jmp, arg, line)
+        if op == Op.JZ:
+            return (self._op_jz, arg, line)
+        if op == Op.JNZ:
+            return (self._op_jnz, arg, line)
+        if op == Op.CALL:
+            return (self._op_call, arg, line)
+        if op == Op.RET:
+            return (self._op_ret, None, line)
+        if op == Op.SYS:
+            return (self._op_sys, arg, line)
+        if op == Op.POP:
+            return (self._op_pop, None, line)
+        if op == Op.DUP:
+            return (self._op_dup, None, line)
+        if op == Op.LOAD_LOAD:
+            return (self._op_load_load, arg, line)
+        if op == Op.PUSH_LOAD:
+            return (self._op_push_load, arg, line)
+        if op == Op.LOAD_PUSH:
+            return (self._op_load_push, arg, line)
+        if op == Op.PUSH_STORE:
+            return (self._op_push_store, arg, line)
+        if op == Op.LOAD_STORE:
+            return (self._op_load_store, arg, line)
+        if op == Op.LOAD_ARITH:
+            addr, aop = arg
+            return (
+                self._op_load_arith,
+                (addr, _CONCRETE_ARITH[aop], _SYMBOLIC_ARITH[aop]),
+                line,
+            )
+        if op == Op.PUSH_ARITH:
+            imm, aop = arg
+            return (
+                self._op_push_arith,
+                (imm, _CONCRETE_ARITH[aop], _SYMBOLIC_ARITH[aop]),
+                line,
+            )
+        if op == Op.ARITH_STORE:
+            aop, addr = arg
+            return (
+                self._op_arith_store,
+                (_CONCRETE_ARITH[aop], _SYMBOLIC_ARITH[aop], addr),
+                line,
+            )
+        if op == Op.ARITH_LOAD:
+            aop, addr = arg
+            return (
+                self._op_arith_load,
+                (_CONCRETE_ARITH[aop], _SYMBOLIC_ARITH[aop], addr),
+                line,
+            )
+        if op == Op.ARITH_ARITH:
+            op1, op2 = arg
+            return (
+                self._op_arith_arith,
+                (_CONCRETE_ARITH[op1], _SYMBOLIC_ARITH[op1],
+                 _CONCRETE_ARITH[op2], _SYMBOLIC_ARITH[op2]),
+                line,
+            )
+        if op == Op.CMP_JZ:
+            cop, target = arg
+            return (
+                self._op_cmp_jz,
+                (_CONCRETE_CMP[cop], _SYMBOLIC_CMP[cop], target),
+                line,
+            )
+        if op == Op.CMP_JNZ:
+            cop, target = arg
+            return (
+                self._op_cmp_jnz,
+                (_CONCRETE_CMP[cop], _SYMBOLIC_CMP[cop], target),
+                line,
+            )
+        if op == Op.INC_MEM:
+            addr, imm, aop = arg
+            return (
+                self._op_inc_mem,
+                (addr, imm, _CONCRETE_ARITH[aop], _SYMBOLIC_ARITH[aop]),
+                line,
+            )
+        raise AssertionError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+    # -- threaded dispatch: base handlers ------------------------------------------
+    # Each handler returns None to keep running, or the successor list
+    # exactly as the baseline loop would.  The loop has already accounted
+    # the dispatch (pc, steps, instruction count) and set the fall-through
+    # pc before the handler runs.
+
+    def _op_push(self, state, arg, line):
+        state.opstack.append(arg)
+
+    def _op_load(self, state, arg, line):
+        state.opstack.append(state.memory[arg])
+
+    def _op_store(self, state, arg, line):
+        state.memory[arg] = _mask_cell(state.opstack.pop())
+
+    def _op_loadi(self, state, arg, line):
+        return self._indexed(state, arg[0], arg[1], line, load=True)
+
+    def _op_storei(self, state, arg, line):
+        return self._indexed(state, arg[0], arg[1], line, load=False)
+
+    def _op_unary(self, state, op, line):
+        return self._arith(state, op, line)
+
+    def _op_arith2(self, state, fns, line):
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            opstack.append(fns[0](left, right))
+        else:
+            opstack.append(fns[1](as_bv(left), as_bv(right)))
+
+    def _op_divide(self, state, fns, line):
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        return self._divide(state, fns[0], fns[1], left, right, line)
+
+    def _op_truth(self, state, op, line):
+        self._compare(state, op)
+
+    def _op_cmp2(self, state, fns, line):
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            opstack.append(int(fns[0](left, right)))
+        else:
+            opstack.append(
+                ite(fns[1](as_bv(left), as_bv(right)), _BV_ONE, _BV_ZERO)
+            )
+
+    def _op_jmp(self, state, arg, line):
+        state.pc = arg
+
+    def _op_jz(self, state, arg, line):
+        return self._branch_value(state, state.opstack.pop(), True, arg)
+
+    def _op_jnz(self, state, arg, line):
+        return self._branch_value(state, state.opstack.pop(), False, arg)
+
+    def _op_call(self, state, arg, line):
+        if len(state.call_stack) > 64:
+            return [
+                self._die(
+                    state,
+                    GuestError(
+                        ErrorKind.STACK_OVERFLOW,
+                        "call stack exceeded 64 frames",
+                        line,
+                    ),
+                )
+            ]
+        memory = state.memory
+        opstack = state.opstack
+        for address in arg[1]:
+            memory[address] = _mask_cell(opstack.pop())
+        state.call_stack.append(state.pc)
+        state.pc = arg[0]
+
+    def _op_ret(self, state, arg, line):
+        return_pc = state.call_stack.pop()
+        if return_pc == _RETURN_SENTINEL:
+            state.opstack.pop()  # discard the handler's return value
+            state.status = Status.IDLE
+            return [state]
+        state.pc = return_pc
+
+    def _op_sys(self, state, arg, line):
+        return self._syscall(state, arg[0], arg[1], line)
+
+    def _op_pop(self, state, arg, line):
+        state.opstack.pop()
+
+    def _op_dup(self, state, arg, line):
+        state.opstack.append(state.opstack[-1])
+
+    # -- threaded dispatch: superinstruction handlers ------------------------------
+    # The loop accounted the first constituent only; _account2/_account4
+    # bring steps, instruction counts, visited pcs and the fall-through
+    # pc up to what the unfused sequence would have produced, *before*
+    # any path that can fork or die.
+
+    def _account2(self, state):
+        pc2 = state.pc
+        self.visited_pcs.add(pc2)
+        state.pc = pc2 + 1
+        state.steps += 1
+        self.instructions_executed += 1
+
+    def _account4(self, state):
+        pc2 = state.pc
+        visited = self.visited_pcs
+        visited.add(pc2)
+        visited.add(pc2 + 1)
+        visited.add(pc2 + 2)
+        state.pc = pc2 + 3
+        state.steps += 3
+        self.instructions_executed += 3
+
+    def _op_load_load(self, state, arg, line):
+        self._account2(state)
+        memory = state.memory
+        opstack = state.opstack
+        opstack.append(memory[arg[0]])
+        opstack.append(memory[arg[1]])
+
+    def _op_push_load(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        opstack.append(arg[0])
+        opstack.append(state.memory[arg[1]])
+
+    def _op_load_push(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        opstack.append(state.memory[arg[0]])
+        opstack.append(arg[1])
+
+    def _op_push_store(self, state, arg, line):
+        self._account2(state)
+        state.memory[arg[1]] = arg[0]  # immediates are pre-masked
+
+    def _op_load_store(self, state, arg, line):
+        self._account2(state)
+        memory = state.memory
+        memory[arg[1]] = memory[arg[0]]  # cells are invariantly masked
+
+    def _op_load_arith(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        left = opstack.pop()
+        right = state.memory[arg[0]]
+        if isinstance(left, int) and isinstance(right, int):
+            opstack.append(arg[1](left, right))
+        else:
+            opstack.append(arg[2](as_bv(left), as_bv(right)))
+
+    def _op_push_arith(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        left = opstack.pop()
+        if isinstance(left, int):
+            opstack.append(arg[1](left, arg[0]))
+        else:
+            opstack.append(arg[2](as_bv(left), as_bv(arg[0])))
+
+    def _op_arith_store(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            state.memory[arg[2]] = arg[0](left, right)
+        else:
+            state.memory[arg[2]] = arg[1](as_bv(left), as_bv(right))
+
+    def _op_arith_load(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            opstack.append(arg[0](left, right))
+        else:
+            opstack.append(arg[1](as_bv(left), as_bv(right)))
+        opstack.append(state.memory[arg[2]])
+
+    def _op_arith_arith(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        c = opstack.pop()
+        b = opstack.pop()
+        if isinstance(b, int) and isinstance(c, int):
+            inner = arg[0](b, c)
+        else:
+            inner = arg[1](as_bv(b), as_bv(c))
+        a = opstack.pop()
+        if isinstance(a, int) and isinstance(inner, int):
+            opstack.append(arg[2](a, inner))
+        else:
+            opstack.append(arg[3](as_bv(a), as_bv(inner)))
+
+    def _op_cmp_jz(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            if not arg[0](left, right):
+                state.pc = arg[2]
+            return None
+        value = ite(arg[1](as_bv(left), as_bv(right)), _BV_ONE, _BV_ZERO)
+        return self._branch_value(state, value, True, arg[2])
+
+    def _op_cmp_jnz(self, state, arg, line):
+        self._account2(state)
+        opstack = state.opstack
+        right = opstack.pop()
+        left = opstack.pop()
+        if isinstance(left, int) and isinstance(right, int):
+            if arg[0](left, right):
+                state.pc = arg[2]
+            return None
+        value = ite(arg[1](as_bv(left), as_bv(right)), _BV_ONE, _BV_ZERO)
+        return self._branch_value(state, value, False, arg[2])
+
+    def _op_inc_mem(self, state, arg, line):
+        self._account4(state)
+        memory = state.memory
+        current = memory[arg[0]]
+        if isinstance(current, int):
+            memory[arg[0]] = arg[2](current, arg[1])
+        else:
+            memory[arg[0]] = arg[3](as_bv(current), as_bv(arg[1]))
 
     # -- helpers -------------------------------------------------------------------
 
@@ -333,7 +776,10 @@ class Executor:
         right = opstack.pop()
         left = opstack.pop()
         if op in _DIVISIVE:
-            return self._divide(state, op, left, right, line)
+            return self._divide(
+                state, _CONCRETE_ARITH[op], _SYMBOLIC_ARITH[op],
+                left, right, line,
+            )
         if isinstance(left, int) and isinstance(right, int):
             opstack.append(_CONCRETE_ARITH[op](left, right))
         else:
@@ -341,7 +787,7 @@ class Executor:
         return None
 
     def _divide(
-        self, state, op, left, right, line
+        self, state, cfn, sfn, left, right, line
     ) -> Optional[List[ExecutionState]]:
         """Division with a division-by-zero error path."""
         successors: List[ExecutionState] = []
@@ -384,11 +830,9 @@ class Executor:
                         )
                     ]
         if isinstance(left, int) and isinstance(right, int):
-            state.opstack.append(_CONCRETE_ARITH[op](left, right))
+            state.opstack.append(cfn(left, right))
         else:
-            state.opstack.append(
-                _SYMBOLIC_ARITH[op](as_bv(left), as_bv(right))
-            )
+            state.opstack.append(sfn(as_bv(left), as_bv(right)))
         if successors:
             return [state] + successors
         return None
@@ -419,8 +863,11 @@ class Executor:
     # .. branches ......................................................................
 
     def _branch(self, state, op, target) -> Optional[List[ExecutionState]]:
-        value = state.opstack.pop()
-        jump_on_zero = op == Op.JZ
+        return self._branch_value(state, state.opstack.pop(), op == Op.JZ, target)
+
+    def _branch_value(
+        self, state, value, jump_on_zero, target
+    ) -> Optional[List[ExecutionState]]:
         if isinstance(value, int):
             taken = (value == 0) == jump_on_zero
             if taken:
@@ -451,8 +898,9 @@ class Executor:
 
     # .. indexed memory access ..........................................................
 
-    def _indexed(self, state, instr, load: bool) -> Optional[List[ExecutionState]]:
-        base, size = instr.arg
+    def _indexed(
+        self, state, base, size, line, load: bool
+    ) -> Optional[List[ExecutionState]]:
         opstack = state.opstack
         value: CellValue = 0
         if not load:
@@ -467,7 +915,7 @@ class Executor:
                         GuestError(
                             ErrorKind.OUT_OF_BOUNDS,
                             f"index {to_signed(index, 32)} outside [0, {size})",
-                            instr.line,
+                            line,
                         ),
                     )
                 ]
@@ -489,7 +937,7 @@ class Executor:
                 GuestError(
                     ErrorKind.OUT_OF_BOUNDS,
                     f"symbolic index may fall outside [0, {size})",
-                    instr.line,
+                    line,
                 ),
             )
             successors.append(error_twin)
@@ -521,8 +969,7 @@ class Executor:
 
     # .. syscalls ...........................................................................
 
-    def _syscall(self, state, instr) -> Optional[List[ExecutionState]]:
-        name, nargs = instr.arg
+    def _syscall(self, state, name, nargs, line) -> Optional[List[ExecutionState]]:
         opstack = state.opstack
         args = [opstack.pop() for _ in range(nargs)]
         args.reverse()
@@ -531,17 +978,17 @@ class Executor:
             try:
                 result = self.host.syscall(state, name, args)
             except SyscallAbort as abort:
-                abort.error.line = instr.line
+                abort.error.line = line
                 return [self._die(state, abort.error)]
             opstack.append(_mask_cell(result))
             return None
 
         if name == "symbolic":
-            return self._sys_symbolic(state, args, instr.line)
+            return self._sys_symbolic(state, args, line)
         if name == "assume":
             return self._sys_assume(state, args[0])
         if name == "assert":
-            return self._sys_assert(state, args, instr.line)
+            return self._sys_assert(state, args, line)
         if name == "fail":
             code = args[0] if isinstance(args[0], int) else None
             return [
@@ -550,7 +997,7 @@ class Executor:
                     GuestError(
                         ErrorKind.EXPLICIT_FAIL,
                         f"fail({code if code is not None else '<symbolic>'})",
-                        instr.line,
+                        line,
                         code,
                     ),
                 )
@@ -564,7 +1011,7 @@ class Executor:
                         GuestError(
                             ErrorKind.BAD_SYSCALL,
                             f"{name} needs a concrete in-range address",
-                            instr.line,
+                            line,
                         ),
                     )
                 ]

@@ -170,7 +170,9 @@ class ExecutionState:
         twin.sym_counters = dict(self.sym_counters)
         twin.symbolics = list(self.symbolics)
         twin.clock = self.clock
-        twin.events = [event.copy() for event in self.events]
+        # Event objects are immutable once constructed (only the queue
+        # list mutates), so forks share them and copy the list alone.
+        twin.events = list(self.events)
         twin.event_seq = self.event_seq
         twin.timer_generations = dict(self.timer_generations)
         twin.current_packet = self.current_packet

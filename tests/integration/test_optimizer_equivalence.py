@@ -1,16 +1,20 @@
-"""Solver optimization must be semantically invisible.
+"""Optimizations must be semantically invisible.
 
-The acceptance bar of the query-optimization pipeline: for every mapping
-algorithm, the canonical trace multiset of a run with the optimizer on
-is identical to the seed solver's (``solver_optimize=False``).  Memoized
-models, verdict memos, canonicalization and the counterexample cache may
-only change *how* a verdict is reached, never which verdict — and never
-a fork, a send, a delivery or a mapper copy downstream of one.
+The acceptance bar for every performance tier — the solver
+query-optimization pipeline, opcode fusion (superinstructions) and
+loop-increment constraint reuse: for every mapping algorithm, the
+canonical trace multiset of a run with an optimization on is identical
+to a run with it off.  Memoized models, verdict memos, canonicalization,
+the counterexample cache, fused dispatch and delta re-simplification may
+only change *how* a result is reached, never which result — and never a
+fork, a send, a delivery or a mapper copy downstream of one.
 
 Two workload shapes: the paper's flood/dissemination scenarios (failure
 branching decided at the engine level) and a symbolic-data program whose
 every receive branches on a ``symbolic()`` reading — the shape that
-actually exercises every tier of the pipeline.
+actually exercises every tier of the pipeline.  The symbolic program
+deliberately contains the compare+branch and load/inc/store patterns the
+fuser targets (``CMP_JZ``/``CMP_JNZ``/``INC_MEM``).
 """
 
 import pytest
@@ -34,50 +38,110 @@ func on_recv(src, len) {
 }
 """
 
+#: Deterministic counters both sides of every A/B pair must agree on.
+SEMANTIC_COUNTERS = (
+    "states.total",
+    "run.events_executed",
+    "run.instructions",
+    "solver.queries",
+    "solver.sat_results",
+    "solver.unsat_results",
+)
 
-def _traced(scenario, algorithm, optimize):
+
+def _traced(scenario, algorithm, **overrides):
     trace = TraceEmitter()
-    report = build_engine(
-        scenario, algorithm, trace=trace, solver_optimize=optimize
-    ).run()
+    report = build_engine(scenario, algorithm, trace=trace, **overrides).run()
     return trace.events, report
 
 
-def _assert_equivalent(scenario, algorithm):
-    seed_events, seed = _traced(scenario, algorithm, optimize=False)
-    opt_events, opt = _traced(scenario, algorithm, optimize=True)
-    diff = diff_traces(seed_events, opt_events)
+def _assert_equivalent(scenario, algorithm, baseline, candidate):
+    """Trace multisets and deterministic counters must match exactly."""
+    base_events, base = _traced(scenario, algorithm, **baseline)
+    cand_events, cand = _traced(scenario, algorithm, **candidate)
+    diff = diff_traces(base_events, cand_events)
     assert diff.equal, diff.render(limit=5)
-    seed_counters = seed.metrics["counters"]
-    opt_counters = opt.metrics["counters"]
-    for name in (
-        "states.total",
-        "run.events_executed",
-        "solver.queries",
-        "solver.sat_results",
-        "solver.unsat_results",
-    ):
-        assert opt_counters[name] == seed_counters[name], name
+    base_counters = base.metrics["counters"]
+    cand_counters = cand.metrics["counters"]
+    for name in SEMANTIC_COUNTERS:
+        assert cand_counters[name] == base_counters[name], name
 
 
-@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
-def test_flood_traces_identical(algorithm):
-    _assert_equivalent(flood_scenario(3, rounds=2), algorithm)
+def _scenarios():
+    return [
+        ("flood", flood_scenario(3, rounds=2)),
+        (
+            "dissemination",
+            dissemination_scenario(Topology.line(3), rounds=2),
+        ),
+        (
+            "symbolic",
+            Scenario(
+                name="symbolic-readings",
+                program=SYMBOLIC_READINGS,
+                topology=Topology.line(3),
+                horizon_ms=200,
+            ),
+        ),
+    ]
 
 
-@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
-def test_dissemination_traces_identical(algorithm):
+SCENARIOS = _scenarios()
+SCENARIO_IDS = [name for name, _ in SCENARIOS]
+ALGORITHMS = ["cob", "cow", "sds"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("scenario", [s for _, s in SCENARIOS], ids=SCENARIO_IDS)
+def test_solver_optimizer_invisible(scenario, algorithm):
     _assert_equivalent(
-        dissemination_scenario(Topology.line(3), rounds=2), algorithm
+        scenario,
+        algorithm,
+        baseline=dict(solver_optimize=False),
+        candidate=dict(solver_optimize=True),
     )
 
 
-@pytest.mark.parametrize("algorithm", ["cob", "cow", "sds"])
-def test_symbolic_branching_traces_identical(algorithm):
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("scenario", [s for _, s in SCENARIOS], ids=SCENARIO_IDS)
+def test_opcode_fusion_invisible(scenario, algorithm):
+    """Superinstruction dispatch == base-ISA dispatch, per trace multiset."""
+    _assert_equivalent(
+        scenario,
+        algorithm,
+        baseline=dict(fuse_ops=False),
+        candidate=dict(fuse_ops=True),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("scenario", [s for _, s in SCENARIOS], ids=SCENARIO_IDS)
+def test_loop_reuse_invisible(scenario, algorithm):
+    """Delta canonicalization + model memos never flip a verdict."""
+    _assert_equivalent(
+        scenario,
+        algorithm,
+        baseline=dict(loop_reuse=False),
+        candidate=dict(loop_reuse=True),
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_everything_off_equals_everything_on(algorithm):
+    """The full PR 4-era configuration vs all optimizations at once."""
     scenario = Scenario(
         name="symbolic-readings",
         program=SYMBOLIC_READINGS,
         topology=Topology.line(3),
         horizon_ms=200,
     )
-    _assert_equivalent(scenario, algorithm)
+    _assert_equivalent(
+        scenario,
+        algorithm,
+        baseline=dict(
+            solver_optimize=False, fuse_ops=False, loop_reuse=False
+        ),
+        candidate=dict(
+            solver_optimize=True, fuse_ops=True, loop_reuse=True
+        ),
+    )

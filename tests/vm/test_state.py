@@ -44,12 +44,17 @@ class TestForkIsolation:
         assert len(state.constraints) == 1
         assert len(twin.constraints) == 2
 
-    def test_events_deep_copied(self):
+    def test_event_queues_isolated_but_events_shared(self):
+        # Event objects are immutable once queued, so forks share them;
+        # only the queue *list* must be private to each state.
         state = make_state()
         state.push_event(10, Event.TIMER, 0, generation=1)
         twin = state.fork()
-        twin.events[0].time = 99
-        assert state.events[0].time == 10
+        assert twin.events[0] is state.events[0]
+        twin.push_event(20, Event.TIMER, 1)
+        twin.pop_event()
+        assert [e.time for e in state.events] == [10]
+        assert [e.time for e in twin.events] == [20]
 
     def test_timer_generations_isolated(self):
         state = make_state()
