@@ -1,0 +1,114 @@
+"""Gate fresh ``BENCH_*.json`` numbers against committed baselines.
+
+Usage::
+
+    python benchmarks/check_trend.py BENCH_solver.json [baseline.json]
+
+The baseline (default: ``benchmarks/baselines/<same name>``) pins the
+*gated* keys — scale-free ratios and deterministic counts that should not
+drift with runner hardware — each with the direction that counts as
+better::
+
+    {
+      "gates": {
+        "solver_group_reduction_pct": {"direction": "higher", "value": 52.3}
+      },
+      "recorded": { ... the full artifact the baseline was cut from ... }
+    }
+
+A gated key failing by more than ``TOLERANCE`` (25% adverse change, the
+same headroom the bench asserts use for CI jitter) fails the check; a
+gated key missing from the fresh artifact fails immediately — silently
+dropping a measurement is how perf gates rot.  Wall-clock keys stay
+ungated (they track runner hardware, and the benches themselves hold the
+speedup bars); they are still printed for the log.
+
+To cut a new baseline after an intentional change, re-run the bench with
+``SDE_BENCH_JSON`` and copy the fresh values into the committed file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+TOLERANCE = 0.25
+
+__all__ = ["check_trend"]
+
+
+def _adverse_change(direction: str, baseline: float, fresh: float) -> float:
+    """Fractional regression of ``fresh`` vs ``baseline`` (<=0 is fine)."""
+    if baseline == 0:
+        return 0.0 if fresh == 0 else (1.0 if direction == "lower" else -1.0)
+    change = (fresh - baseline) / abs(baseline)
+    return -change if direction == "higher" else change
+
+
+def check_trend(fresh: dict, baseline: dict, tolerance: float = TOLERANCE):
+    """Return ``(failures, report_lines)`` for a fresh artifact."""
+    failures = []
+    lines = []
+    gates = baseline.get("gates", {})
+    if not gates:
+        failures.append("baseline defines no gates")
+    for key in sorted(gates):
+        gate = gates[key]
+        direction, pinned = gate["direction"], gate["value"]
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh artifact")
+            continue
+        value = fresh[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            failures.append(f"{key}: non-numeric value {value!r}")
+            continue
+        adverse = _adverse_change(direction, pinned, value)
+        status = "ok" if adverse <= tolerance else "REGRESSION"
+        lines.append(
+            f"  {status:>10}  {key}: {value} vs baseline {pinned}"
+            f" ({direction} is better, adverse {adverse:+.1%})"
+        )
+        if adverse > tolerance:
+            failures.append(
+                f"{key}: {value} regressed >{tolerance:.0%} vs"
+                f" baseline {pinned} ({direction} is better)"
+            )
+    ungated = sorted(set(fresh) - set(gates))
+    for key in ungated:
+        lines.append(f"    (ungated)  {key}: {fresh[key]}")
+    return failures, lines
+
+
+def main(argv) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__)
+        return 2
+    fresh_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "baselines",
+            os.path.basename(fresh_path),
+        )
+    )
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    failures, lines = check_trend(fresh, baseline)
+    print(f"trend check: {fresh_path} vs {baseline_path}")
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("trend check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,7 +17,8 @@ The facade groups four things:
   workload registry (:func:`make_workload` / :func:`register_workload`);
 - **engine configuration and runs** — :class:`EngineConfig`,
   :func:`build_engine`, :func:`run_scenario`, :class:`SDEEngine`,
-  :class:`ParallelRunner`, :func:`resume_engine`, and the mapper registry
+  :class:`ParallelRunner`, :class:`DistributedRunner` (with the
+  :class:`Transport` backends), :func:`resume_engine`, and the mapper registry
   (:func:`make_mapper` / :func:`register_mapper`);
 - **the solver surface** — :class:`Solver`, :class:`ConstraintSet`,
   :class:`Model` (see ``docs/SOLVER.md`` for the pipeline);
@@ -28,6 +29,13 @@ The facade groups four things:
 from __future__ import annotations
 
 from .core.config import EngineConfig
+from .core.distributed import (
+    DistributedReport,
+    DistributedRunner,
+    InlineTransport,
+    MultiprocessTransport,
+    Transport,
+)
 from .core.engine import RunReport, SDEEngine
 from .core.parallel import ParallelReport, ParallelRunner
 from .core.reporting import load_report_dict, report_to_dict, save_report
@@ -70,6 +78,11 @@ __all__ = [
     "run_scenario",
     "ParallelRunner",
     "ParallelReport",
+    "DistributedRunner",
+    "DistributedReport",
+    "Transport",
+    "InlineTransport",
+    "MultiprocessTransport",
     "resume_engine",
     "ALGORITHMS",
     "available_algorithms",

@@ -85,12 +85,27 @@ def _fusion_disabled(args) -> bool:
 
 
 def _run_report(scenario, algorithm, args, **caps):
-    """One run — parallel when ``--workers`` was given, sequential otherwise."""
+    """One run — distributed/parallel per the worker flags, else sequential."""
     trace = TraceEmitter() if getattr(args, "trace_out", None) else None
     caps.update(_checkpoint_overrides(args))
     if _fusion_disabled(args):
         caps["fuse_ops"] = False
-    if args.workers is not None:
+    if getattr(args, "distributed", False):
+        from .core.distributed import DistributedRunner
+
+        report = DistributedRunner(
+            scenario,
+            algorithm,
+            workers=args.workers if args.workers is not None else 4,
+            partition_depth=getattr(args, "partition_depth", None),
+            steal=getattr(args, "steal", True),
+            trace=trace,
+            max_retries=getattr(args, "max_retries", None),
+            allow_partial=getattr(args, "allow_partial", None),
+            task_timeout_seconds=getattr(args, "task_timeout", None),
+            **caps,
+        ).run()
+    elif args.workers is not None:
         from .core.parallel import ParallelRunner
 
         report = ParallelRunner(
@@ -151,14 +166,21 @@ def _cmd_run(args) -> int:
     print(render_table1([row], f"{name} under {report.algorithm}"))
     print(f"\nevents={row.events} instructions={row.instructions}"
           f" error-states={row.error_states}")
-    if args.workers is not None and hasattr(report, "partition_count"):
+    if hasattr(report, "partition_count"):
         print(
-            f"workers={args.workers} partitions={report.partition_count}"
+            f"workers={report.workers} partitions={report.partition_count}"
             f" prefix-events={report.prefix_events}"
             f" projected-speedup=x{report.projected:.2f}"
         )
         if report.retries:
             print(f"worker-retries={report.retries}")
+    if hasattr(report, "partition_depth"):
+        print(
+            f"distributed: depth={report.partition_depth}"
+            f" jobs={report.jobs_dispatched}"
+            f" steals={report.steals_granted}/{report.steals_requested}"
+            f" ({report.transport_name})"
+        )
     if getattr(report, "partial", False):
         print(
             f"PARTIAL: {len(report.failed_partitions)} partition(s) failed"
@@ -317,6 +339,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         help="virtual-time split point for --workers (default: 30%% of horizon)",
+    )
+    run_parser.add_argument(
+        "--distributed",
+        action="store_true",
+        default=False,
+        help="split one exploration tree by test depth across a worker pool"
+        " (work-stealing coordinator; --workers sets the pool size,"
+        " default 4)",
+    )
+    run_parser.add_argument(
+        "--partition-depth",
+        type=int,
+        default=None,
+        help="explicit frontier cut for --distributed, in executed events"
+        " (default: adaptive — deepen until the sharing graph fractures)",
+    )
+    run_parser.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="work-stealing for --distributed (--no-steal disables)",
     )
     run_parser.add_argument(
         "--checkpoint-out",

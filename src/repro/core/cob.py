@@ -161,14 +161,10 @@ class COBMapper(StateMapper):
                         f"state {state.sid} filed under wrong node {node}"
                     )
                 if state.sid in seen:
-                    raise MappingError(
-                        f"state {state.sid} appears in two dscenarios"
-                    )
+                    raise MappingError(f"state {state.sid} appears in two dscenarios")
                 seen[state.sid] = scenario.id
                 if self._owner.get(state.sid) is not scenario:
-                    raise MappingError(
-                        f"owner map inconsistent for state {state.sid}"
-                    )
+                    raise MappingError(f"owner map inconsistent for state {state.sid}")
             conflicts = find_conflicts(scenario.members.values())
             if conflicts:
                 a, b = conflicts[0]

@@ -84,12 +84,8 @@ class EngineConfig:
         # Accept lists for convenience; store tuples so the config stays
         # hashable-by-parts and safely shareable.
         if not isinstance(self.failure_models, tuple):
-            object.__setattr__(
-                self, "failure_models", tuple(self.failure_models)
-            )
-        if self.boot_times is not None and not isinstance(
-            self.boot_times, tuple
-        ):
+            object.__setattr__(self, "failure_models", tuple(self.failure_models))
+        if self.boot_times is not None and not isinstance(self.boot_times, tuple):
             object.__setattr__(self, "boot_times", tuple(self.boot_times))
 
     def replace(self, **changes) -> "EngineConfig":
@@ -124,9 +120,7 @@ class EngineConfig:
 
 #: every field name of :class:`EngineConfig` — the override-splitting
 #: contract used by ``build_engine``/``resume_engine``.
-ENGINE_CONFIG_FIELDS = frozenset(
-    f.name for f in dataclasses.fields(EngineConfig)
-)
+ENGINE_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(EngineConfig))
 
 
 def split_config_overrides(overrides: Dict[str, object]) -> Tuple[

@@ -37,19 +37,13 @@ class DState:
         self.members = members  # node id -> non-empty list of states
 
     def states(self) -> List[ExecutionState]:
-        return [
-            state
-            for node in sorted(self.members)
-            for state in self.members[node]
-        ]
+        return [state for node in sorted(self.members) for state in self.members[node]]
 
     def size(self) -> int:
         return sum(len(states) for states in self.members.values())
 
     def __repr__(self) -> str:
-        shape = ",".join(
-            str(len(self.members[node])) for node in sorted(self.members)
-        )
+        shape = ",".join(str(len(self.members[node])) for node in sorted(self.members))
         return f"DState#{self.id}[{shape}]"
 
 
@@ -93,11 +87,7 @@ class COWMapper(StateMapper):
         targets = dstate.members.get(dest_node)
         if not targets:
             raise MappingError(f"dstate has no state for node {dest_node}")
-        rivals = [
-            state
-            for state in dstate.members[sender.node]
-            if state is not sender
-        ]
+        rivals = [state for state in dstate.members[sender.node] if state is not sender]
         if not rivals:
             # No conflict pending: deliver in place to every target.
             return list(targets)
@@ -174,11 +164,7 @@ class COWMapper(StateMapper):
         """
         dstate = self._owner[sender.sid]
         targets = list(dstate.members.get(dest_node, ()))
-        rivals = [
-            state
-            for state in dstate.members[sender.node]
-            if state is not sender
-        ]
+        rivals = [state for state in dstate.members[sender.node] if state is not sender]
         bystanders = [
             state
             for node, states in dstate.members.items()
@@ -204,23 +190,15 @@ class COWMapper(StateMapper):
         for dstate in self._dstates:
             for node, states in dstate.members.items():
                 if not states:
-                    raise MappingError(
-                        f"dstate {dstate.id} empty for node {node}"
-                    )
+                    raise MappingError(f"dstate {dstate.id} empty for node {node}")
                 for state in states:
                     if state.node != node:
-                        raise MappingError(
-                            f"state {state.sid} filed under wrong node"
-                        )
+                        raise MappingError(f"state {state.sid} filed under wrong node")
                     if state.sid in seen:
-                        raise MappingError(
-                            f"state {state.sid} appears in two dstates"
-                        )
+                        raise MappingError(f"state {state.sid} appears in two dstates")
                     seen[state.sid] = dstate.id
                     if self._owner.get(state.sid) is not dstate:
-                        raise MappingError(
-                            f"owner map inconsistent for {state.sid}"
-                        )
+                        raise MappingError(f"owner map inconsistent for {state.sid}")
             # Pairwise conflict-freedom inside the dstate.
             all_states = dstate.states()
             for i, a in enumerate(all_states):

@@ -1,0 +1,1133 @@
+"""Distributed SDE: test-depth partitioning of one exploration tree.
+
+:mod:`repro.core.parallel` parallelizes *independent dstate components*,
+which leaves the common flood/dissemination case — one big connected
+component — on a single worker.  This module implements the missing
+strategy from "Distributed Symbolic Execution using Test-Depth
+Partitioning" (PAPERS.md): split a single exploration tree **by depth**
+into self-contained jobs and keep the pool busy with work-stealing.
+
+Why depth and not an arbitrary graph cut: splitting a connected SDS
+component at one instant is unsound — ``needs_fork`` decisions depend on
+virtual states in *other* dstates of the component, so executing the
+halves separately changes fork decisions and the trace.  But components
+naturally **fracture** as execution deepens (states diverge, sharing
+dissolves).  So the partitioner advances the engine in event slices and
+cuts at the first frontier depth where the sharing graph has fractured
+into enough components:
+
+1. :func:`deepen_until_partitioned` runs ``probe_events``-sized slices,
+   recomputing :func:`~repro.core.partition.partition_groups` after each,
+   until there are at least ``min_partitions`` components with runnable
+   states (or an explicit ``partition_depth`` is reached, or the run
+   completes first — the degenerate sequential case).
+2. Every cut lands on an **event boundary**: all states are quiescent,
+   ``scheduler_snapshot`` is exact, and each job is a pickled
+   :class:`~repro.core.parallel.WorkerTask` — an engine checkpoint
+   (mapper payload + scheduler order + id watermarks) with the run's
+   :meth:`EngineConfig.worker_variant` and a :class:`PathPrefix` summary
+   of the path constraints delimiting the subtree.  The constraints
+   themselves travel inside the snapshot (each shipped state carries its
+   ``ConstraintSet``), which is what makes the job self-contained.
+3. :class:`DistributedRunner` hands the jobs to a coordinator over a
+   pluggable :class:`Transport` (an in-process ``multiprocessing`` pool
+   now; a socket/queue backend only needs to move the same opaque
+   messages).  Stragglers are rebalanced by **work-stealing**: an idle
+   pool prompts a busy worker to re-partition its remaining frontier at
+   its next event boundary and hand half back as fresh jobs.
+
+Why the merged report is pinned identical to the sequential run: a cut
+ships every live state to exactly one job, and a steal is just another
+cut — the donor's partial slice is reported with *flow* counters only
+(events, instructions, solver queries, stats, trace events) while all
+*stock* totals (states, census, groups, errors, memory) come from the
+terminal jobs, whose states are exactly the sequential run's.  So the
+:class:`~repro.core.parallel.ParallelReport` merge argument applies
+recursively, independent of worker count and steal timing.  State ids
+remain volatile (as in parallel runs); semantic trace comparison is by
+canonical multiset, which ignores them.
+
+Failures reuse the typed-failure machinery from
+:mod:`repro.core.resilience`: dead workers are detected by liveness
+scans, jobs are retried with the same deterministic backoff policy, the
+final crash/exception attempt runs inline, and ``SDE_CHAOS_KILL_WORKER``
+kills every job's first subprocess attempt.  A donor that dies *after* a
+steal reply costs nothing extra — the reply carries the kept half as a
+fresh payload, so the retry resumes from the split, and a donor that
+dies *before* replying simply retries the original job.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_module
+import time as _time
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.events import TraceEmitter
+from .engine import RunReport, SDEEngine
+from .parallel import (
+    ParallelReport,
+    WorkerResult,
+    WorkerTask,
+    restore_worker_engine,
+    snapshot_assignment_tasks,
+)
+from .partition import (
+    Partition,
+    lpt_assign,
+    partition_groups,
+    projected_speedup,
+    steal_split,
+)
+from .resilience import (
+    RetryPolicy,
+    WorkerFailure,
+    chaos_kill_requested,
+    raise_worker_failure,
+)
+from .stats import PROGRAM_IMAGE_COST_PER_INSTRUCTION
+
+__all__ = [
+    "DistributedReport",
+    "DistributedRunner",
+    "InlineTransport",
+    "MultiprocessTransport",
+    "PathPrefix",
+    "Transport",
+    "deepen_until_partitioned",
+]
+
+#: Events between a worker's steal-request polls.  Each poll is one
+#: non-blocking queue read; the value bounds steal latency (a donor can
+#: only hand work over at an event boundary it actually reaches).
+DEFAULT_STEAL_CHECK_EVENTS = 64
+
+#: Events per partitioner probe slice (adaptive mode).
+DEFAULT_PROBE_EVENTS = 32
+
+#: Adaptive-mode budget: if the sharing graph has not fractured within
+#: this many events, distribute whatever components exist (possibly one —
+#: the run then degrades to supervised sequential execution).
+DEFAULT_PROBE_LIMIT_EVENTS = 4096
+
+#: Seconds a worker that answered "nothing to steal" is left alone before
+#: the coordinator asks again (its component may fracture later).
+STEAL_RETRY_COOLDOWN_SECONDS = 0.5
+
+
+class PathPrefix:
+    """Summary of the path-prefix constraints delimiting one job's subtree.
+
+    The actual constraints ship inside the job snapshot (every state
+    carries its ``ConstraintSet``); this picklable summary travels next to
+    the payload so the coordinator can log, meter, and attribute failures
+    without unpickling engine state.
+    """
+
+    __slots__ = ("depth", "groups", "states", "conjuncts")
+
+    def __init__(self, depth: int, groups: int, states: int, conjuncts: int):
+        self.depth = depth
+        self.groups = groups
+        self.states = states
+        self.conjuncts = conjuncts
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"PathPrefix(depth={self.depth}, groups={self.groups},"
+            f" states={self.states}, conjuncts={self.conjuncts})"
+        )
+
+
+def _path_prefix(engine: SDEEngine, bundle: Sequence[Partition]) -> PathPrefix:
+    """Build the :class:`PathPrefix` for one bundle of partitions."""
+    sids = set()
+    groups = 0
+    for partition in bundle:
+        sids.update(partition.state_sids)
+        groups += len(partition.group_indices)
+    conjuncts = 0
+    for sid in sids:
+        state = engine.states.get(sid)
+        if state is not None:
+            conjuncts += len(state.constraints)
+    return PathPrefix(
+        depth=engine.events_executed,
+        groups=groups,
+        states=len(sids),
+        conjuncts=conjuncts,
+    )
+
+
+def deepen_until_partitioned(
+    engine: SDEEngine,
+    min_partitions: int,
+    probe_events: int = DEFAULT_PROBE_EVENTS,
+    probe_limit_events: Optional[int] = DEFAULT_PROBE_LIMIT_EVENTS,
+    balance_workers: Optional[int] = None,
+    balance_fraction: float = 0.8,
+    trace: Optional[TraceEmitter] = None,
+) -> List[Partition]:
+    """Advance ``engine`` until its sharing graph has fractured.
+
+    Runs ``probe_events``-sized slices and recomputes the component
+    decomposition after each, returning the partition list of the first
+    frontier with at least ``min_partitions`` components that still have
+    runnable states.  With ``balance_workers`` set, the cut additionally
+    waits until the LPT-projected speedup on that many workers reaches
+    ``balance_fraction`` of linear — a frontier that has *just* fractured
+    is typically lopsided, and cutting there trades the whole run's
+    balance for a few hundred saved prefix events.  Returns whatever
+    exists once ``probe_limit_events`` is exhausted or the run completes —
+    callers must handle both the empty-frontier and the still-connected
+    cases.
+    """
+    engine.run_until(split_events=0)  # boot states exist before probing
+    while True:
+        partitions = partition_groups(engine.mapper)
+        runnable = {sid for _, sid in engine.scheduler_snapshot()}
+        if not runnable or engine.aborted:
+            return partitions
+        live_partitions = [p for p in partitions if p.state_sids & runnable]
+        live = len(live_partitions)
+        if trace is not None:
+            trace.emit(
+                "worker.partition.deepen",
+                events=engine.events_executed,
+                partitions=live,
+            )
+        balanced = balance_workers is None or projected_speedup(
+            live_partitions, balance_workers
+        ) >= balance_fraction * balance_workers
+        if live >= min_partitions and balanced:
+            return partitions
+        if (
+            probe_limit_events is not None
+            and engine.events_executed >= probe_limit_events
+        ):
+            return partitions
+        before = engine.events_executed
+        engine.run_until(split_events=before + probe_events)
+        if engine.events_executed == before:
+            return partitions  # horizon reached with entries still queued
+
+
+# ---------------------------------------------------------------------------
+# Transport: opaque message passing between the coordinator and workers
+# ---------------------------------------------------------------------------
+#
+# Wire protocol (all messages are picklable tuples; the transport never
+# inspects them beyond delivery):
+#
+#   coordinator -> worker:
+#     ("job", job_id, payload_bytes, attempt)   run one job
+#     ("steal", )                               re-partition and hand half back
+#     ("stop", )                                exit the worker loop
+#
+#   worker -> coordinator:
+#     ("done", worker, job_id, WorkerResult)    terminal result for job_id
+#     ("steal_reply", worker, job_id, partial_result, kept_payload,
+#       [(payload, PathPrefix), ...])           donor split: flow-only slice
+#                                               result + its continuation +
+#                                               the stolen jobs
+#     ("steal_deny", worker, job_id)            single component, can't split
+#     ("fail", worker, job_id, WorkerFailure)   worker survived an exception
+
+
+class Transport(ABC):
+    """Moves opaque messages between one coordinator and N workers.
+
+    Implementations own worker lifecycle (:meth:`start`, :meth:`alive`,
+    :meth:`restart`, :meth:`stop`) and message delivery (:meth:`send` to a
+    specific worker, :meth:`recv` from any).  The coordinator guarantees it
+    never sends a job to a worker it believes busy; workers queue anything
+    unexpected until the current job finishes.
+    """
+
+    worker_count: int
+
+    @abstractmethod
+    def start(self) -> None:
+        """Bring up ``worker_count`` workers."""
+
+    @abstractmethod
+    def send(self, worker: int, message: tuple) -> None:
+        """Deliver ``message`` to ``worker``."""
+
+    @abstractmethod
+    def recv(self, timeout: float) -> Optional[tuple]:
+        """Next worker message, or ``None`` after ``timeout`` seconds."""
+
+    @abstractmethod
+    def alive(self, worker: int) -> bool:
+        """Whether ``worker`` can still make progress."""
+
+    @abstractmethod
+    def restart(self, worker: int) -> None:
+        """Replace ``worker`` with a fresh one (dropping queued input)."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Tear everything down; never raises."""
+
+
+def _execute_job(
+    worker_index: int,
+    job_id: int,
+    payload: bytes,
+    send,
+    poll_steal,
+    steal_check_events: int,
+) -> None:
+    """Run one job payload to completion, honouring steal requests.
+
+    The engine advances in ``steal_check_events``-sized slices; between
+    slices (an event boundary — states quiescent, snapshot exact) the
+    worker polls for a steal request.  Granting one means: snapshot *all*
+    local partitions, ship a flow-only partial result plus the stolen half
+    plus our own continuation payload in a single atomic reply, then
+    resume from the continuation.  The reply is self-delimiting: even if
+    this worker dies right after sending it, the coordinator can finish
+    the subtree from the kept/stolen payloads alone.
+    """
+    while True:
+        task: WorkerTask = pickle.loads(payload)
+        task.index = job_id  # result/trace attribution is coordinator-side
+        engine = restore_worker_engine(task)
+        image_cost = PROGRAM_IMAGE_COST_PER_INSTRUCTION * len(task.program.code)
+        stolen = None
+        while True:
+            target = engine.events_executed + steal_check_events
+            engine.run_until(split_events=target)
+            if engine.events_executed < target or engine.aborted:
+                engine._sample_and_check_caps(force=True)
+                events = engine.trace.events if engine.trace is not None else []
+                result = WorkerResult(
+                    task, RunReport(engine), engine.state_census(), events
+                )
+                send(("done", worker_index, job_id, result))
+                return
+            if poll_steal is not None and poll_steal():
+                stolen = _split_for_steal(engine, task, job_id, image_cost)
+                if stolen is None:
+                    send(("steal_deny", worker_index, job_id))
+                    continue
+                partial, kept_payload, stolen_jobs = stolen
+                send(
+                    (
+                        "steal_reply",
+                        worker_index,
+                        job_id,
+                        partial,
+                        kept_payload,
+                        stolen_jobs,
+                    )
+                )
+                payload = kept_payload
+                break  # restart from the kept half
+        if stolen is None:  # pragma: no cover - defensive
+            return
+
+
+def _split_for_steal(
+    engine: SDEEngine, task: WorkerTask, job_id: int, image_cost: int
+) -> Optional[Tuple[WorkerResult, bytes, List[Tuple[bytes, PathPrefix]]]]:
+    """Split a running engine in half; ``None`` when it cannot be split.
+
+    Returns ``(partial_result, kept_payload, stolen_jobs)``.  The partial
+    result covers the donor's slice up to this boundary with *flow*
+    counters only: its stock totals are zeroed (and ``accounted_bytes``
+    set to the shared-image sentinel) because every state lives on in
+    exactly one of the kept/stolen payloads, whose terminal results will
+    report them.
+    """
+    partitions = partition_groups(engine.mapper)
+    runnable = {sid for _, sid in engine.scheduler_snapshot()}
+    live = [p for p in partitions if p.state_sids & runnable]
+    if len(live) < 2:
+        return None
+
+    def runnable_weight(partition: Partition) -> int:
+        return len(partition.state_sids & runnable)
+
+    # Balance the *remaining* work; quiescent partitions carry stock
+    # states but no events, so they stay with the donor (same shipping
+    # cost either way, one fewer restore on the thief).
+    kept, given = steal_split(live, weight=runnable_weight)
+    if not kept or not given:
+        return None
+    kept = kept + [p for p in partitions if not (p.state_sids & runnable)]
+    tasks, _ = snapshot_assignment_tasks(engine, [kept, given], trace=task.trace)
+    if len(tasks) < 2:  # pragma: no cover - steal_split guarantees both
+        return None
+    engine._sample_and_check_caps(force=True)
+    events = engine.trace.events if engine.trace is not None else []
+    partial = WorkerResult(task, RunReport(engine), {}, events)
+    partial.total_states = 0
+    partial.active_states = 0
+    partial.group_count = 0
+    partial.error_states = []
+    partial.census = {}
+    partial.accounted_bytes = image_cost
+    stolen_jobs = [
+        (pickle.dumps(job), _path_prefix(engine, given)) for job in tasks[1:]
+    ]
+    return partial, pickle.dumps(tasks[0]), stolen_jobs
+
+
+def _job_worker_main(
+    worker_index: int, inbox, outbox, steal_check_events: int
+) -> None:  # pragma: no cover - subprocess
+    """Pool-worker entry: serve job messages until told to stop.
+
+    ``SDE_CHAOS_KILL_WORKER`` makes every job's *first* subprocess attempt
+    die unreported (like an OOM kill); retries run normally.
+    """
+    import gc
+
+    # Fork-started workers inherit the coordinator's whole heap.  Freeze it
+    # so the cyclic GC never scans (and copy-on-write-unshares) inherited
+    # pages — without this, a large parent heap multiplies across workers
+    # and the run degrades to slower than sequential.
+    gc.freeze()
+    pending: deque = deque()
+
+    def poll_steal() -> bool:
+        try:
+            message = inbox.get_nowait()
+        except queue_module.Empty:
+            return False
+        if message[0] == "steal":
+            return True
+        pending.append(message)  # stop/unexpected: handle after this job
+        return False
+
+    while True:
+        if pending:
+            message = pending.popleft()
+        else:
+            message = inbox.get()
+        tag = message[0]
+        if tag == "stop":
+            return
+        if tag == "steal":
+            # Raced with our own completion: nothing running here.
+            outbox.put(("steal_deny", worker_index, -1))
+            continue
+        _, job_id, payload, attempt = message
+        if attempt == 0 and chaos_kill_requested():
+            os._exit(137)
+        try:
+            _execute_job(
+                worker_index,
+                job_id,
+                payload,
+                outbox.put,
+                poll_steal,
+                steal_check_events,
+            )
+        except BaseException as exc:
+            import traceback
+
+            outbox.put(
+                (
+                    "fail",
+                    worker_index,
+                    job_id,
+                    WorkerFailure(
+                        task_index=job_id,
+                        kind="exception",
+                        message=str(exc),
+                        exc_type=type(exc).__name__,
+                        traceback=traceback.format_exc(),
+                    ),
+                )
+            )
+
+
+class MultiprocessTransport(Transport):
+    """The in-process pool backend: one subprocess per worker.
+
+    Per-worker inbox queues plus one shared outbox.  ``restart`` replaces
+    the process *and* its inbox, so queued messages for a dead worker are
+    dropped rather than replayed at a worker that never had the job.
+    """
+
+    def __init__(
+        self,
+        worker_count: int,
+        start_method: Optional[str] = None,
+        steal_check_events: int = DEFAULT_STEAL_CHECK_EVENTS,
+    ) -> None:
+        if worker_count < 1:
+            raise ValueError("need at least one worker")
+        self.worker_count = worker_count
+        self.steal_check_events = steal_check_events
+        import multiprocessing
+
+        if start_method is not None:
+            self._context = multiprocessing.get_context(start_method)
+        else:
+            try:
+                self._context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                self._context = multiprocessing.get_context("spawn")
+        self._inboxes: Dict[int, object] = {}
+        self._processes: Dict[int, object] = {}
+        self._outbox = None
+
+    def start(self) -> None:
+        self._outbox = self._context.Queue()
+        for worker in range(self.worker_count):
+            self._spawn(worker)
+
+    def _spawn(self, worker: int) -> None:
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_job_worker_main,
+            args=(worker, inbox, self._outbox, self.steal_check_events),
+        )
+        process.daemon = True
+        process.start()
+        self._inboxes[worker] = inbox
+        self._processes[worker] = process
+
+    def send(self, worker: int, message: tuple) -> None:
+        self._inboxes[worker].put(message)
+
+    def recv(self, timeout: float) -> Optional[tuple]:
+        try:
+            return self._outbox.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def alive(self, worker: int) -> bool:
+        process = self._processes.get(worker)
+        return process is not None and process.is_alive()
+
+    def restart(self, worker: int) -> None:
+        process = self._processes.pop(worker, None)
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join()
+        old_inbox = self._inboxes.pop(worker, None)
+        if old_inbox is not None:
+            old_inbox.close()
+        self._spawn(worker)
+
+    def stop(self) -> None:
+        for worker, process in list(self._processes.items()):
+            if process.is_alive():
+                try:
+                    self._inboxes[worker].put(("stop",))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        deadline = _time.monotonic() + 2.0
+        for process in self._processes.values():
+            process.join(timeout=max(0.0, deadline - _time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join()
+        self._processes.clear()
+        self._inboxes.clear()
+
+
+class InlineTransport(Transport):
+    """Single in-process worker: jobs execute synchronously inside ``send``.
+
+    The same pickle round-trip as subprocess workers (payloads are built
+    and unpickled identically), no fork/spawn overhead, nothing to steal
+    (one worker is never idle while another is busy) and chaos injection
+    does not apply — killing the worker would kill the coordinator.  This
+    is the ``workers=1`` backend and the determinism anchor for tests.
+    """
+
+    worker_count = 1
+
+    def __init__(self) -> None:
+        self._replies: deque = deque()
+
+    def start(self) -> None:
+        self._replies.clear()
+
+    def send(self, worker: int, message: tuple) -> None:
+        tag = message[0]
+        if tag in ("stop",):
+            return
+        if tag == "steal":
+            self._replies.append(("steal_deny", 0, -1))
+            return
+        _, job_id, payload, attempt = message
+        try:
+            _execute_job(0, job_id, payload, self._replies.append, None, 1)
+        except BaseException as exc:
+            import traceback
+
+            self._replies.append(
+                (
+                    "fail",
+                    0,
+                    job_id,
+                    WorkerFailure(
+                        task_index=job_id,
+                        kind="exception",
+                        message=str(exc),
+                        exc_type=type(exc).__name__,
+                        traceback=traceback.format_exc(),
+                    ),
+                )
+            )
+
+    def recv(self, timeout: float) -> Optional[tuple]:
+        if self._replies:
+            return self._replies.popleft()
+        return None
+
+    def alive(self, worker: int) -> bool:
+        return True
+
+    def restart(self, worker: int) -> None:  # pragma: no cover - never dies
+        pass
+
+    def stop(self) -> None:
+        self._replies.clear()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class _RunningJob:
+    """Coordinator-side record of one in-flight job."""
+
+    __slots__ = ("job_id", "attempt", "deadline")
+
+    def __init__(self, job_id: int, attempt: int, deadline) -> None:
+        self.job_id = job_id
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class StealStats:
+    """Work-stealing counters for the merged report."""
+
+    __slots__ = ("requested", "granted", "denied")
+
+    def __init__(self) -> None:
+        self.requested = 0
+        self.granted = 0
+        self.denied = 0
+
+
+class _Coordinator:
+    """Drives jobs over a transport: dispatch, steal, supervise, retry.
+
+    Failure semantics mirror :class:`~repro.core.resilience.WorkerSupervisor`:
+    typed :class:`WorkerFailure` records, deterministic seeded backoff, an
+    in-process final attempt for crash/exception failures (timeouts keep
+    retrying in a subprocess), and ``allow_partial`` degrading exhausted
+    jobs to report entries instead of raising.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        jobs: List[Tuple[bytes, PathPrefix]],
+        policy: RetryPolicy,
+        steal: bool,
+        run_inline,
+        trace: Optional[TraceEmitter] = None,
+        sleep=_time.sleep,
+    ) -> None:
+        self.transport = transport
+        self.policy = policy
+        self.steal_enabled = steal and transport.worker_count > 1
+        self.run_inline = run_inline
+        self.trace = trace
+        self.sleep = sleep
+
+        self.payloads: Dict[int, bytes] = {}
+        self.prefixes: Dict[int, PathPrefix] = {}
+        self._next_job_id = 0
+        for payload, prefix in jobs:
+            self._enqueue_new(payload, prefix)
+        self.pending: deque = deque(sorted(self.payloads))
+        self.attempts: Dict[int, int] = {}
+        self.results: List[WorkerResult] = []
+        self.failed: List[WorkerFailure] = []
+        self.retries = 0
+        self.steal_stats = StealStats()
+        self.jobs_dispatched = 0
+        self._outstanding = len(self.payloads)
+        self._resolved: set = set()
+        self._busy: Dict[int, _RunningJob] = {}
+        self._steal_pending: set = set()
+        self._steal_cooldown: Dict[int, float] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run every job (and every job stolen along the way) to an end."""
+        if self._outstanding == 0:
+            return
+        self.transport.start()
+        try:
+            idle = set(range(self.transport.worker_count))
+            while self._outstanding > 0:
+                self._dispatch(idle)
+                self._maybe_steal(idle)
+                message = self.transport.recv(self.policy.poll_interval_seconds)
+                if message is None:
+                    self._scan_workers(idle)
+                    continue
+                self._handle(message, idle)
+        finally:
+            self.transport.stop()
+
+    # -- internals ----------------------------------------------------------
+
+    def _enqueue_new(self, payload: bytes, prefix: PathPrefix) -> int:
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self.payloads[job_id] = payload
+        self.prefixes[job_id] = prefix
+        return job_id
+
+    def _dispatch(self, idle: set) -> None:
+        while self.pending and idle:
+            worker = min(idle)
+            if not self.transport.alive(worker):
+                self.transport.restart(worker)
+            job_id = self.pending.popleft()
+            if job_id in self._resolved:  # pragma: no cover - defensive
+                continue
+            idle.discard(worker)
+            attempt = self.attempts.get(job_id, 0)
+            deadline = None
+            if self.policy.task_timeout_seconds is not None:
+                deadline = (_time.monotonic() + self.policy.task_timeout_seconds)
+            self._busy[worker] = _RunningJob(job_id, attempt, deadline)
+            self.jobs_dispatched += 1
+            if self.trace is not None:
+                self.trace.emit("worker.job.dispatch", job=job_id, attempt=attempt)
+            self.transport.send(worker, ("job", job_id, self.payloads[job_id], attempt))
+
+    def _maybe_steal(self, idle: set) -> None:
+        if not self.steal_enabled or self.pending or not idle:
+            return
+        now = _time.monotonic()
+        for worker in sorted(self._busy):
+            if worker in self._steal_pending:
+                continue
+            if self._steal_cooldown.get(worker, 0.0) > now:
+                continue
+            self._steal_pending.add(worker)
+            self.steal_stats.requested += 1
+            if self.trace is not None:
+                self.trace.emit("worker.steal.request", victim=worker)
+            self.transport.send(worker, ("steal",))
+            return  # one request per loop turn
+
+    def _handle(self, message: tuple, idle: set) -> None:
+        tag = message[0]
+        if tag == "done":
+            _, worker, job_id, result = message
+            if job_id in self._resolved:
+                return  # stale duplicate after a presumed-death requeue
+            self._resolved.add(job_id)
+            self._outstanding -= 1
+            self.results.append(result)
+            self._busy.pop(worker, None)
+            self._steal_pending.discard(worker)
+            idle.add(worker)
+            if self.trace is not None:
+                self.trace.emit("worker.job.done", job=job_id)
+        elif tag == "steal_reply":
+            _, worker, job_id, partial, kept_payload, stolen_jobs = message
+            self._steal_pending.discard(worker)
+            running = self._busy.get(worker)
+            if (
+                job_id in self._resolved
+                or running is None
+                or running.job_id != job_id
+            ):
+                # The whole job was (or will be) re-run from its pre-split
+                # payload; the partial and the stolen half must be dropped
+                # together or states would be double-counted.
+                return
+            self.steal_stats.granted += 1
+            # Cooldown after a grant too: re-stealing from a donor that
+            # just paid for a split/restore thrashes the run's tail.
+            self._steal_cooldown[worker] = (
+                _time.monotonic() + STEAL_RETRY_COOLDOWN_SECONDS
+            )
+            self.results.append(partial)
+            # The donor continues from the kept half: a later crash must
+            # retry only that half, not replay the reported slice.
+            self.payloads[job_id] = kept_payload
+            if running.deadline is not None:
+                running.deadline = (
+                    _time.monotonic() + self.policy.task_timeout_seconds
+                )
+            moved = 0
+            for payload, prefix in stolen_jobs:
+                self._enqueue_new(payload, prefix)
+                self.pending.append(self._next_job_id - 1)
+                self._outstanding += 1
+                moved += prefix.states
+            if self.trace is not None:
+                self.trace.emit("worker.steal.grant", job=job_id, states=moved)
+        elif tag == "steal_deny":
+            _, worker, _job_id = message
+            self._steal_pending.discard(worker)
+            self._steal_cooldown[worker] = (
+                _time.monotonic() + STEAL_RETRY_COOLDOWN_SECONDS
+            )
+            self.steal_stats.denied += 1
+            if self.trace is not None:
+                self.trace.emit("worker.steal.deny", job=_job_id)
+        elif tag == "fail":
+            _, worker, job_id, failure = message
+            self._busy.pop(worker, None)
+            self._steal_pending.discard(worker)
+            idle.add(worker)
+            if job_id not in self._resolved:
+                self._job_failed(job_id, failure)
+
+    def _scan_workers(self, idle: set) -> None:
+        now = _time.monotonic()
+        for worker, running in list(self._busy.items()):
+            if not self.transport.alive(worker):
+                # A flushed result may still be queued; prefer it over a
+                # crash record (mirrors WorkerSupervisor's last drain).
+                message = self.transport.recv(self.policy.poll_interval_seconds)
+                if message is not None:
+                    self._handle(message, idle)
+                    return
+                self._busy.pop(worker, None)
+                self._steal_pending.discard(worker)
+                self.transport.restart(worker)
+                idle.add(worker)
+                self._job_failed(
+                    running.job_id,
+                    self._make_failure(
+                        running.job_id,
+                        "crash",
+                        "worker process died without reporting a result",
+                    ),
+                )
+            elif running.deadline is not None and now > running.deadline:
+                self._busy.pop(worker, None)
+                self._steal_pending.discard(worker)
+                self.transport.restart(worker)
+                idle.add(worker)
+                self._job_failed(
+                    running.job_id,
+                    self._make_failure(
+                        running.job_id,
+                        "timeout",
+                        "job exceeded its wall-clock budget of"
+                        f" {self.policy.task_timeout_seconds}s",
+                    ),
+                )
+
+    def _make_failure(self, job_id: int, kind: str, message: str):
+        prefix = self.prefixes.get(job_id)
+        return WorkerFailure(
+            task_index=job_id,
+            kind=kind,
+            message=message,
+            state_count=prefix.states if prefix is not None else 0,
+        )
+
+    def _job_failed(self, job_id: int, failure: WorkerFailure) -> None:
+        self.attempts[job_id] = self.attempts.get(job_id, 0) + 1
+        failure.attempts = self.attempts[job_id]
+        if not failure.state_count:
+            prefix = self.prefixes.get(job_id)
+            if prefix is not None:
+                failure.state_count = prefix.states
+        if self.trace is not None:
+            self.trace.emit(
+                "worker.crash",
+                task=job_id,
+                kind=failure.kind,
+                exitcode=failure.exitcode,
+                attempt=failure.attempts,
+            )
+        if failure.attempts > self.policy.max_retries:
+            self._exhaust(job_id, failure)
+            return
+        self.retries += 1
+        delay = self.policy.backoff_seconds(job_id, failure.attempts)
+        if delay > 0:
+            self.sleep(delay)
+        if self.trace is not None:
+            self.trace.emit("worker.retry", task=job_id, attempt=failure.attempts)
+        final = failure.attempts == self.policy.max_retries
+        if final and failure.kind != "timeout":
+            # Last chance: run in the coordinator's process — immune to
+            # worker loss.  Timeouts keep retrying in a subprocess; an
+            # in-process attempt could not be killed.
+            self._run_final_inline(job_id)
+        else:
+            self.pending.append(job_id)
+
+    def _run_final_inline(self, job_id: int) -> None:
+        try:
+            result = self.run_inline(job_id, self.payloads[job_id])
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            import traceback as traceback_module
+
+            self.attempts[job_id] += 1
+            failure = self._make_failure(job_id, "exception", str(exc))
+            failure.exc_type = type(exc).__name__
+            failure.traceback = traceback_module.format_exc()
+            failure.attempts = self.attempts[job_id]
+            self._exhaust(job_id, failure)
+            return
+        self._resolved.add(job_id)
+        self._outstanding -= 1
+        self.results.append(result)
+
+    def _exhaust(self, job_id: int, failure: WorkerFailure) -> None:
+        self._resolved.add(job_id)
+        self._outstanding -= 1
+        if self.policy.allow_partial:
+            self.failed.append(failure)
+            return
+        raise_worker_failure(failure)
+
+
+def _run_job_inline(job_id: int, payload: bytes) -> WorkerResult:
+    """The coordinator's in-process final attempt at a job."""
+    replies: List[tuple] = []
+    _execute_job(0, job_id, payload, replies.append, None, 1)
+    message = replies[-1]
+    if message[0] != "done":  # pragma: no cover - _execute_job raises instead
+        raise RuntimeError(f"inline job ended with {message[0]!r}")
+    return message[3]
+
+
+# ---------------------------------------------------------------------------
+# Runner + report
+# ---------------------------------------------------------------------------
+
+
+class DistributedReport(ParallelReport):
+    """Merged report of a distributed run.
+
+    Reuses the :class:`~repro.core.parallel.ParallelReport` merge — the
+    semantic totals are pinned identical to the sequential run for any
+    worker count and any steal timing (see the module docstring) — and
+    adds the distributed extras: ``partition_depth`` (the frontier cut, in
+    events), ``jobs_dispatched`` and the ``steals`` counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        partition_depth: int,
+        jobs_dispatched: int,
+        steal_stats: StealStats,
+        transport_name: str,
+        **parallel_kwargs,
+    ) -> None:
+        # Set before super().__init__ so report_snapshot (called at the
+        # end of the merge) already sees the distributed extras.
+        self.partition_depth = partition_depth
+        self.jobs_dispatched = jobs_dispatched
+        self.steals_requested = steal_stats.requested
+        self.steals_granted = steal_stats.granted
+        self.steals_denied = steal_stats.denied
+        self.transport_name = transport_name
+        super().__init__(**parallel_kwargs)
+
+    def summary(self) -> str:
+        lines = [
+            super().summary(),
+            f"  partition depth  : {self.partition_depth} events"
+            f" ({self.transport_name} transport)",
+            f"  jobs dispatched  : {self.jobs_dispatched}",
+            f"  steals           : {self.steals_granted} granted"
+            f" / {self.steals_denied} denied"
+            f" / {self.steals_requested} requested",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedReport({self.algorithm}, workers={self.workers},"
+            f" jobs={self.jobs_dispatched}, steals={self.steals_granted},"
+            f" states={self.total_states}, partial={self.partial})"
+        )
+
+
+class DistributedRunner:
+    """Run one scenario with depth partitioning over a worker pool.
+
+    The pipeline: deepen the engine to the cut depth (adaptive probing by
+    default, ``partition_depth`` for an explicit cut), emit each partition
+    bundle as a self-contained job, and let the coordinator drive the jobs
+    over the transport with work-stealing and supervised retries.  With
+    ``workers=1`` (or a still-connected frontier) the run degrades to
+    supervised sequential execution over the same pickle round-trip.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        algorithm: str = "sds",
+        workers: int = 4,
+        partition_depth: Optional[int] = None,
+        min_partitions: Optional[int] = None,
+        probe_events: int = DEFAULT_PROBE_EVENTS,
+        probe_limit_events: Optional[int] = DEFAULT_PROBE_LIMIT_EVENTS,
+        steal: bool = True,
+        steal_check_events: int = DEFAULT_STEAL_CHECK_EVENTS,
+        transport: Optional[Transport] = None,
+        start_method: Optional[str] = None,
+        trace: Optional[TraceEmitter] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_retries: Optional[int] = None,
+        allow_partial: Optional[bool] = None,
+        task_timeout_seconds: Optional[float] = None,
+        **engine_overrides,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.scenario = scenario
+        self.algorithm = algorithm
+        self.workers = workers
+        self.partition_depth = partition_depth
+        self.min_partitions = (
+            min_partitions if min_partitions is not None else 2 * workers
+        )
+        self.probe_events = probe_events
+        self.probe_limit_events = probe_limit_events
+        self.steal = steal
+        self.steal_check_events = steal_check_events
+        self.transport = transport
+        self.start_method = start_method
+        self.trace = trace
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
+        replacements = {}
+        if max_retries is not None:
+            replacements["max_retries"] = max_retries
+        if allow_partial is not None:
+            replacements["allow_partial"] = allow_partial
+        if task_timeout_seconds is not None:
+            replacements["task_timeout_seconds"] = task_timeout_seconds
+        if replacements:
+            import dataclasses
+
+            policy = dataclasses.replace(policy, **replacements)
+        self.retry_policy = policy
+        self.engine_overrides = engine_overrides
+
+    def run(self) -> DistributedReport:
+        from .scenario import build_engine
+
+        started = _time.perf_counter()
+        engine = build_engine(
+            self.scenario,
+            self.algorithm,
+            trace=self.trace,
+            **self.engine_overrides,
+        )
+        if self.partition_depth is not None:
+            engine.run_until(split_events=self.partition_depth)
+            partitions = partition_groups(engine.mapper)
+        else:
+            partitions = deepen_until_partitioned(
+                engine,
+                min_partitions=self.min_partitions,
+                probe_events=self.probe_events,
+                probe_limit_events=self.probe_limit_events,
+                balance_workers=self.workers,
+                trace=self.trace,
+            )
+        engine._sample_and_check_caps(force=True)
+        prefix = RunReport(engine)
+        prefix_census = engine.state_census()
+        depth = engine.events_executed
+
+        jobs: List[Tuple[bytes, PathPrefix]] = []
+        if not engine.aborted and engine.scheduler_snapshot():
+            assignment = [
+                bundle
+                for bundle in lpt_assign(partitions, self.workers)
+                if bundle
+            ]
+            tasks, _ = snapshot_assignment_tasks(
+                engine, assignment, trace=self.trace is not None
+            )
+            jobs = [
+                (pickle.dumps(task), _path_prefix(engine, bundle))
+                for task, bundle in zip(tasks, assignment)
+            ]
+        else:
+            partitions = []
+        if jobs and self.trace is not None:
+            self.trace.emit(
+                "worker.partition.start",
+                partitions=len(partitions),
+                states=sum(p.state_count() for p in partitions),
+            )
+
+        transport = self.transport
+        if transport is None:
+            if self.workers == 1 or len(jobs) <= 1:
+                transport = InlineTransport()
+            else:
+                transport = MultiprocessTransport(
+                    self.workers,
+                    start_method=self.start_method,
+                    steal_check_events=self.steal_check_events,
+                )
+        coordinator = _Coordinator(
+            transport,
+            jobs,
+            policy=self.retry_policy,
+            steal=self.steal,
+            run_inline=_run_job_inline,
+            trace=self.trace,
+        )
+        coordinator.run()
+        results = sorted(coordinator.results, key=lambda w: (w.index, -w.total_states))
+        if self.trace is not None:
+            for worker in results:
+                self.trace.extend(worker.events)
+            self.trace.emit("worker.merge", workers=len(results))
+        return DistributedReport(
+            partition_depth=depth,
+            jobs_dispatched=coordinator.jobs_dispatched,
+            steal_stats=coordinator.steal_stats,
+            transport_name=type(transport).__name__,
+            prefix=prefix,
+            prefix_census=prefix_census,
+            worker_results=results,
+            image_cost=(
+                PROGRAM_IMAGE_COST_PER_INSTRUCTION * len(engine.program.code)
+            ),
+            partitions=partitions,
+            workers=self.workers,
+            split_ms=None,
+            split_events=depth,
+            runtime_seconds=_time.perf_counter() - started,
+            failed_partitions=coordinator.failed,
+            retries=coordinator.retries,
+        )

@@ -68,9 +68,7 @@ class RunReport:
         self.events_executed = engine.events_executed
         self.instructions = engine.executor.instructions_executed
         self.total_states = len(engine.states)
-        self.active_states = sum(
-            1 for s in engine.states.values() if s.is_active()
-        )
+        self.active_states = sum(1 for s in engine.states.values() if s.is_active())
         self.error_states = [
             s for s in engine.states.values() if s.status == Status.ERROR
         ]
@@ -79,9 +77,7 @@ class RunReport:
         self.solver_queries = engine.solver.queries
         self.samples: List[Sample] = list(engine.stats.samples)
         self.virtual_ms = engine.clock.now
-        self.accounted_bytes = (
-            self.samples[-1].accounted_bytes if self.samples else 0
-        )
+        self.accounted_bytes = (self.samples[-1].accounted_bytes if self.samples else 0)
         # -- observability extras (the metrics-snapshot contract) ----------
         self.phases = engine.profiler.snapshot()
         self.cache_stats = engine.solver.cache_stats()
@@ -228,9 +224,7 @@ class SDEEngine:
         if config is not None:  # legacy positional horizon_ms
             fields.setdefault("horizon_ms", config)
         if "horizon_ms" not in fields:
-            raise TypeError(
-                "SDEEngine needs an EngineConfig (or at least horizon_ms)"
-            )
+            raise TypeError("SDEEngine needs an EngineConfig (or at least horizon_ms)")
         warnings.warn(LEGACY_KWARGS_MESSAGE, DeprecationWarning, stacklevel=3)
         return EngineConfig(**fields)
 
@@ -250,9 +244,7 @@ class SDEEngine:
         for node in self.medium.unicast_targets(sender.node, dest):
             self._transmit(sender, node, payload, broadcast_id=0)
 
-    def guest_broadcast(
-        self, sender: ExecutionState, payload: List[CellValue]
-    ) -> None:
+    def guest_broadcast(self, sender: ExecutionState, payload: List[CellValue]) -> None:
         broadcast_id = next(self._broadcast_ids)
         # Broadcast = a series of unicasts to every neighbour (footnote 1).
         for node in self.medium.broadcast_targets(sender.node):
@@ -332,7 +324,7 @@ class SDEEngine:
                 raise ValueError(f"cannot preset array global {name!r}")
             state.memory[address] = value & 0xFFFFFFFF
 
-    # -- the main loop ------------------------------------------------------------------
+    # -- the main loop ----------------------------------------------------------------
 
     def run(self) -> RunReport:
         self.run_until()
@@ -361,10 +353,7 @@ class SDEEngine:
         if not self._started:
             self.setup()
         while True:
-            if (
-                split_events is not None
-                and self.events_executed >= split_events
-            ):
+            if (split_events is not None and self.events_executed >= split_events):
                 break  # event-count split point reached
             entry = self.scheduler.pop(self._entry_valid, max_time=split_ms)
             if entry is None:
@@ -464,7 +453,7 @@ class SDEEngine:
         self.states[state.sid] = state
         self._schedule(state)
 
-    # -- event dispatch --------------------------------------------------------------------
+    # -- event dispatch ---------------------------------------------------------------
 
     def _dispatch(self, state: ExecutionState, event: Event) -> None:
         if event.kind == Event.BOOT:
@@ -579,7 +568,7 @@ class SDEEngine:
         state.push_event(state.clock, Event.BOOT, None)
         self._schedule(state)
 
-    # -- sampling & caps -------------------------------------------------------------------------
+    # -- sampling & caps --------------------------------------------------------------
 
     def _sample_and_check_caps(self, force: bool = False) -> Optional[Sample]:
         sample = self.stats.record(
@@ -613,7 +602,7 @@ class SDEEngine:
         self.aborted = True
         self.abort_reason = reason
 
-    # -- conveniences for tests/examples ------------------------------------------------------------
+    # -- conveniences for tests/examples ----------------------------------------------
 
     def states_of_node(self, node: int) -> List[ExecutionState]:
         return [s for s in self.states.values() if s.node == node]

@@ -30,20 +30,12 @@ __all__ = [
 
 def sent_to(state: ExecutionState, node: int) -> Set[int]:
     """Packet ids ``state`` sent whose destination node is ``node``."""
-    return {
-        pid
-        for kind, pid, peer in state.history
-        if kind == "tx" and peer == node
-    }
+    return {pid for kind, pid, peer in state.history if kind == "tx" and peer == node}
 
 
 def received_from(state: ExecutionState, node: int) -> Set[int]:
     """Packet ids ``state`` received that originated at ``node``."""
-    return {
-        pid
-        for kind, pid, peer in state.history
-        if kind == "rx" and peer == node
-    }
+    return {pid for kind, pid, peer in state.history if kind == "rx" and peer == node}
 
 
 def in_direct_conflict(a: ExecutionState, b: ExecutionState) -> bool:

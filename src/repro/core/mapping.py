@@ -104,13 +104,13 @@ class StateMapper:
     ) -> List[ExecutionState]:
         raise NotImplementedError
 
-    # -- introspection (benchmarks, tests) ---------------------------------------------
+    # -- introspection (benchmarks, tests) --------------------------------------------
 
     def group_count(self) -> int:
         """Number of dscenarios (COB) / dstates (COW, SDS)."""
         raise NotImplementedError
 
-    # -- snapshot / restore (parallel execution) ----------------------------------------
+    # -- snapshot / restore (parallel execution) --------------------------------------
 
     def snapshot_groups(self, group_indices: Sequence[int]):
         """A picklable payload carrying the selected groups.

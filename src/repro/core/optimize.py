@@ -148,7 +148,5 @@ def analyze_equal_packets(
         groups.append(MergeGroup(key, sorted(pids), senders))
 
     total_transmissions = len(packets)
-    total_mapping_forks = sum(
-        1 for s in states.values() if s.forked_from is not None
-    )
+    total_mapping_forks = sum(1 for s in states.values() if s.forked_from is not None)
     return OptimizationReport(groups, total_transmissions, total_mapping_forks)

@@ -61,7 +61,13 @@ from .stats import (
     process_rss_bytes,
 )
 
-__all__ = ["ParallelRunner", "ParallelReport", "WorkerResult", "WorkerTask"]
+__all__ = [
+    "ParallelRunner",
+    "ParallelReport",
+    "WorkerResult",
+    "WorkerTask",
+    "snapshot_assignment_tasks",
+]
 
 
 class WorkerTask:
@@ -200,6 +206,60 @@ def restore_worker_engine(task: WorkerTask) -> SDEEngine:
     return engine
 
 
+def snapshot_assignment_tasks(
+    engine: SDEEngine, assignment: Sequence[Sequence[Partition]], trace: bool
+) -> Tuple[List[WorkerTask], Dict[int, Tuple[Tuple[int, ...], int]]]:
+    """Build one :class:`WorkerTask` per non-empty partition bundle.
+
+    The shared snapshot step of every cut: capture the scheduler order and
+    id watermarks once, then ship each bundle its mapper payload and the
+    scheduler entries of its own states.  Used by :class:`ParallelRunner`
+    for the initial split and by :mod:`repro.core.distributed` both for
+    the depth cut and for a donor's steal split (which is just another
+    cut, taken mid-run inside a worker).  Returns ``(tasks, task_meta)``
+    where ``task_meta`` maps task index to ``(group_indices, state_count)``
+    for failure records.
+    """
+    scheduler_entries = engine.scheduler_snapshot()
+    state_watermark = state_id_watermark()
+    packet_watermark = packet_id_watermark()
+    broadcast_watermark = next(engine._broadcast_ids)
+
+    tasks: List[WorkerTask] = []
+    task_meta: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+    for index, bundle in enumerate(assignment):
+        if not bundle:
+            continue  # fewer partitions than workers
+        group_indices = [
+            group_index
+            for partition in bundle
+            for group_index in partition.group_indices
+        ]
+        sids = set()
+        for partition in bundle:
+            sids.update(partition.state_sids)
+        task_meta[index] = (tuple(group_indices), len(sids))
+        tasks.append(
+            WorkerTask(
+                index=index,
+                algorithm=engine.mapper.name,
+                program=engine.program,
+                topology=engine.topology,
+                config=engine.config.worker_variant(),
+                mapper_payload=engine.mapper.snapshot_groups(group_indices),
+                scheduler_entries=[
+                    entry for entry in scheduler_entries if entry[1] in sids
+                ],
+                clock_now=engine.clock.now,
+                state_watermark=state_watermark,
+                packet_watermark=packet_watermark,
+                broadcast_watermark=broadcast_watermark,
+                trace=trace,
+            )
+        )
+    return tasks, task_meta
+
+
 def execute_task_bytes(payload: bytes) -> WorkerResult:
     """Unpickle a :class:`WorkerTask`, run it to completion, summarize.
 
@@ -287,9 +347,7 @@ class ParallelReport:
         self.split_ms = split_ms
         self.split_events = split_events
         self.partition_count = len(partitions)
-        self.projected = (
-            projected_speedup(partitions, workers) if partitions else 1.0
-        )
+        self.projected = (projected_speedup(partitions, workers) if partitions else 1.0)
         self.runtime_seconds = runtime_seconds
         # Resilience: partitions that exhausted their retries (only under
         # --allow-partial; otherwise the run raised) and the retry count.
@@ -313,9 +371,7 @@ class ParallelReport:
             self.total_states = sum(w.total_states for w in results)
             self.active_states = sum(w.active_states for w in results)
             self.group_count = sum(w.group_count for w in results)
-            self.error_states = [
-                state for w in results for state in w.error_states
-            ]
+            self.error_states = [state for w in results for state in w.error_states]
             # Each worker's accounting re-charges the shared program image;
             # count it once, like the sequential run does.
             self.accounted_bytes = image_cost + sum(
@@ -337,9 +393,7 @@ class ParallelReport:
         self.events_executed = prefix.events_executed + sum(
             w.events_executed for w in results
         )
-        self.instructions = prefix.instructions + sum(
-            w.instructions for w in results
-        )
+        self.instructions = prefix.instructions + sum(w.instructions for w in results)
         self.solver_queries = prefix.solver_queries + sum(
             w.solver_queries for w in results
         )
@@ -368,9 +422,7 @@ class ParallelReport:
         self.solver_stats = _sum_dicts(
             [prefix.solver_stats] + [w.solver_stats for w in results]
         )
-        self.net_stats = _sum_dicts(
-            [prefix.net_stats] + [w.net_stats for w in results]
-        )
+        self.net_stats = _sum_dicts([prefix.net_stats] + [w.net_stats for w in results])
         cache_parts = [
             part
             for part in [prefix.cache_stats] + [w.cache_stats for w in results]
@@ -552,48 +604,14 @@ class ParallelRunner:
     # -- internals -------------------------------------------------------------
 
     def _build_tasks(self, engine: SDEEngine) -> List[WorkerTask]:
-        scheduler_entries = engine.scheduler_snapshot()
-        if not scheduler_entries:
+        if not engine.scheduler_snapshot():
             self._partitions = []
             return []  # the run already completed before the split point
         self._partitions = partition_groups(engine.mapper)
         assignment = lpt_assign(self._partitions, self.workers)
-        state_watermark = state_id_watermark()
-        packet_watermark = packet_id_watermark()
-        broadcast_watermark = next(engine._broadcast_ids)
-
-        tasks: List[WorkerTask] = []
-        self._task_meta: Dict[int, Tuple[Tuple[int, ...], int]] = {}
-        for index, core_partitions in enumerate(assignment):
-            if not core_partitions:
-                continue  # fewer partitions than workers
-            group_indices = [
-                group_index
-                for partition in core_partitions
-                for group_index in partition.group_indices
-            ]
-            sids = set()
-            for partition in core_partitions:
-                sids.update(partition.state_sids)
-            self._task_meta[index] = (tuple(group_indices), len(sids))
-            tasks.append(
-                WorkerTask(
-                    index=index,
-                    algorithm=engine.mapper.name,
-                    program=engine.program,
-                    topology=engine.topology,
-                    config=engine.config.worker_variant(),
-                    mapper_payload=engine.mapper.snapshot_groups(group_indices),
-                    scheduler_entries=[
-                        entry for entry in scheduler_entries if entry[1] in sids
-                    ],
-                    clock_now=engine.clock.now,
-                    state_watermark=state_watermark,
-                    packet_watermark=packet_watermark,
-                    broadcast_watermark=broadcast_watermark,
-                    trace=self.trace is not None,
-                )
-            )
+        tasks, self._task_meta = snapshot_assignment_tasks(
+            engine, assignment, trace=self.trace is not None
+        )
         return tasks
 
     def _execute(

@@ -23,7 +23,7 @@ scenarios.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from .mapping import StateMapper
 
@@ -34,6 +34,7 @@ __all__ = [
     "projected_speedup",
     "schedule_makespan",
     "speedup_bound",
+    "steal_split",
 ]
 
 
@@ -135,6 +136,40 @@ def lpt_assign(partitions: List[Partition], cores: int) -> List[List[Partition]]
     return assignment
 
 
+def steal_split(
+    partitions: List[Partition], weight=None
+) -> Tuple[List[Partition], List[Partition]]:
+    """Split partitions into near-equal-work (kept, stolen) halves.
+
+    LPT into two bins; the first (heavier-or-equal) bin stays with the
+    donor.  ``weight`` defaults to the stock state count; work-stealing
+    donors pass a *runnable*-state weight instead, so a late-run split
+    balances remaining work rather than accumulated terminated states.
+    With fewer than two partitions there is nothing to steal and the
+    stolen half is empty — callers deny the steal request.
+    """
+    if len(partitions) < 2:
+        return list(partitions), []
+    if weight is None:
+        def weight(partition: Partition) -> int:
+            return partition.state_count()
+
+    order = sorted(
+        range(len(partitions)),
+        key=lambda i: (-weight(partitions[i]), i),
+    )
+    kept: List[Partition] = []
+    stolen: List[Partition] = []
+    loads = [0, 0]
+    for index in order:
+        side = 0 if loads[0] <= loads[1] else 1
+        (kept, stolen)[side].append(partitions[index])
+        loads[side] += weight(partitions[index])
+    if not stolen:  # all-zero weights degenerate to one bin
+        stolen.append(kept.pop())
+    return kept, stolen
+
+
 def schedule_makespan(partitions: List[Partition], cores: int) -> int:
     """LPT makespan of the partitions on ``cores`` cores.
 
@@ -143,10 +178,7 @@ def schedule_makespan(partitions: List[Partition], cores: int) -> int:
     how long would P cores take?*
     """
     assignment = lpt_assign(partitions, cores)
-    loads = [
-        sum(partition.state_count() for partition in core)
-        for core in assignment
-    ]
+    loads = [sum(partition.state_count() for partition in core) for core in assignment]
     return max(loads) if loads else 0
 
 

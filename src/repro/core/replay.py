@@ -33,12 +33,8 @@ class ForcedFailureModel(FailureModel):
     """Wraps a failure model, replaying concrete decisions instead of
     forking."""
 
-    def __init__(
-        self, original: FailureModel, assignments: Mapping[str, int]
-    ) -> None:
-        super().__init__(
-            original.nodes, original.budget, original.packet_filter
-        )
+    def __init__(self, original: FailureModel, assignments: Mapping[str, int]) -> None:
+        super().__init__(original.nodes, original.budget, original.packet_filter)
         self.tag = original.tag
         self._failed_plan_of = original._failed_plan
         self._assignments = assignments
@@ -71,14 +67,9 @@ def replay_assignments(
     original_factory = scenario.failure_factory
 
     def forced_factory():
-        return [
-            ForcedFailureModel(model, assignments)
-            for model in original_factory()
-        ]
+        return [ForcedFailureModel(model, assignments) for model in original_factory()]
 
-    engine = build_engine(
-        scenario, algorithm, failure_models=list(forced_factory())
-    )
+    engine = build_engine(scenario, algorithm, failure_models=list(forced_factory()))
     return engine.run()
 
 

@@ -57,6 +57,7 @@ __all__ = [
     "WorkerTaskError",
     "chaos_kill_requested",
     "load_checkpoint",
+    "raise_worker_failure",
     "resume_engine",
     "save_checkpoint",
 ]
@@ -226,9 +227,7 @@ class RetryPolicy:
         """Deterministic exponential backoff with seeded jitter."""
         if attempt <= 0:
             return 0.0
-        base = self.backoff_base_seconds * (
-            self.backoff_factor ** (attempt - 1)
-        )
+        base = self.backoff_base_seconds * (self.backoff_factor ** (attempt - 1))
         rng = random.Random(f"{self.seed}:{task_index}:{attempt}")
         return base * (1.0 + self.backoff_jitter * rng.random())
 
@@ -418,9 +417,7 @@ class WorkerSupervisor:
         if delay > 0:
             self.sleep(delay)
         if self.trace is not None:
-            self.trace.emit(
-                "worker.retry", task=index, attempt=failure.attempts
-            )
+            self.trace.emit("worker.retry", task=index, attempt=failure.attempts)
         final = failure.attempts == self.policy.max_retries
         if final and failure.kind != "timeout":
             # Last chance: run in the supervisor's own process.  This is
@@ -528,9 +525,7 @@ def _engine_payload(engine) -> dict:
 def _restore_histogram(histogram, data: dict) -> None:
     """Load a :meth:`Histogram.data` dict back into a live histogram."""
     if tuple(data["bounds"]) != histogram.bounds:
-        raise CheckpointError(
-            "checkpoint histogram bounds do not match this build"
-        )
+        raise CheckpointError("checkpoint histogram bounds do not match this build")
     histogram.buckets = list(data["buckets"])
     histogram.count = data["count"]
     histogram.total = data["total"]
@@ -558,9 +553,7 @@ def save_checkpoint(engine, path) -> dict:
     so truncated or bit-rotted checkpoints are rejected at load rather
     than producing a silently wrong resume.
     """
-    body = pickle.dumps(
-        _engine_payload(engine), protocol=pickle.HIGHEST_PROTOCOL
-    )
+    body = pickle.dumps(_engine_payload(engine), protocol=pickle.HIGHEST_PROTOCOL)
     header = {
         "version": CHECKPOINT_VERSION,
         "algorithm": engine.mapper.name,
@@ -570,9 +563,7 @@ def save_checkpoint(engine, path) -> dict:
         "sha256": hashlib.sha256(body).hexdigest(),
     }
     header_bytes = json.dumps(header, sort_keys=True).encode("ascii")
-    atomic_write_bytes(
-        path, CHECKPOINT_MAGIC + b"\n" + header_bytes + b"\n" + body
-    )
+    atomic_write_bytes(path, CHECKPOINT_MAGIC + b"\n" + header_bytes + b"\n" + body)
     return header
 
 
@@ -647,9 +638,7 @@ def resume_engine(path, trace=None, **engine_overrides):
         engine.scheduler.push(event_time, sid)
     ensure_state_ids_above(payload["state_watermark"])
     ensure_packet_ids_above(payload["packet_watermark"])
-    engine._broadcast_ids = itertools.count(
-        payload["broadcast_watermark"] + 1
-    )
+    engine._broadcast_ids = itertools.count(payload["broadcast_watermark"] + 1)
 
     # -- counter baselines: the resumed report must equal an uninterrupted
     # run's on every deterministic field.

@@ -77,9 +77,7 @@ class VDState:
         ]
 
     def __repr__(self) -> str:
-        shape = ",".join(
-            str(len(self.members[node])) for node in sorted(self.members)
-        )
+        shape = ",".join(str(len(self.members[node])) for node in sorted(self.members))
         return f"VDState#{self.id}[{shape}]"
 
 
@@ -191,9 +189,7 @@ class SDSMapper(StateMapper):
         delivery_dstate_ids: Set[int] = set(sender_dstate_ids)
         for vs in sender_virtuals:
             dstate = vs.dstate
-            direct_rivals = [
-                v for v in dstate.members[sender.node] if v is not vs
-            ]
+            direct_rivals = [v for v in dstate.members[sender.node] if v is not vs]
             if not direct_rivals:
                 continue  # virtual packet delivered in place in this dstate
             dstate.members[sender.node] = direct_rivals
@@ -374,20 +370,14 @@ class SDSMapper(StateMapper):
             if node_sets is None:
                 node_sets = set(dstate.members)
             elif set(dstate.members) != node_sets:
-                raise MappingError(
-                    f"dstate {dstate.id} covers a different node set"
-                )
+                raise MappingError(f"dstate {dstate.id} covers a different node set")
             for node, virtuals in dstate.members.items():
                 if not virtuals:
-                    raise MappingError(
-                        f"dstate {dstate.id} empty for node {node}"
-                    )
+                    raise MappingError(f"dstate {dstate.id} empty for node {node}")
                 actual_sids = set()
                 for virtual in virtuals:
                     if virtual.dstate is not dstate:
-                        raise MappingError(
-                            f"virtual {virtual.vid} backpointer wrong"
-                        )
+                        raise MappingError(f"virtual {virtual.vid} backpointer wrong")
                     if virtual.actual.node != node:
                         raise MappingError(
                             f"virtual {virtual.vid} filed under wrong node"
@@ -399,9 +389,7 @@ class SDSMapper(StateMapper):
                         )
                     actual_sids.add(virtual.actual.sid)
                     if virtual not in self._virtuals.get(virtual.actual.sid, ()):
-                        raise MappingError(
-                            f"virtual {virtual.vid} missing from index"
-                        )
+                        raise MappingError(f"virtual {virtual.vid} missing from index")
             # Conflict-freedom over the actuals in this dstate.
             actuals = [v.actual for v in dstate.virtuals()]
             for i, a in enumerate(actuals):

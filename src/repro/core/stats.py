@@ -86,9 +86,7 @@ class StatsRecorder:
     ) -> None:
         self.samples: List[Sample] = []
         self._started = time.perf_counter()
-        self._image_cost = (
-            PROGRAM_IMAGE_COST_PER_INSTRUCTION * program_instructions
-        )
+        self._image_cost = (PROGRAM_IMAGE_COST_PER_INSTRUCTION * program_instructions)
         self._sample_every = max(1, sample_every_events)
         self._last_sampled_at = -1
 

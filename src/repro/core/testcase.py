@@ -85,10 +85,7 @@ class DistributedTestCase:
 
     def inputs_for_node(self, node: int) -> Dict[str, int]:
         state = self.members[node]
-        return {
-            name: self.assignments.get(name, 0)
-            for name, _width in state.symbolics
-        }
+        return {name: self.assignments.get(name, 0) for name, _width in state.symbolics}
 
     def errors(self) -> List[GuestError]:
         return [
@@ -110,9 +107,7 @@ def testcase_for_state(state: ExecutionState, solver: Solver) -> Optional[TestCa
     model = solver.check(state.constraints)
     if model is None:
         return None
-    assignments = {
-        name: model.get(name, 0) for name, _width in state.symbolics
-    }
+    assignments = {name: model.get(name, 0) for name, _width in state.symbolics}
     return TestCase(state, assignments, state.error)
 
 

@@ -51,9 +51,7 @@ def render_groups(
     for index, group in enumerate(shown):
         lines = [f"{'dscenario' if mapper.name == 'cob' else 'dstate'} #{index + 1}"]
         for node in sorted(group):
-            row = " ".join(
-                _label(state, state.sid in mapped) for state in group[node]
-            )
+            row = " ".join(_label(state, state.sid in mapped) for state in group[node])
             lines.append(f"node {node} | {row}")
         boxes.append(lines)
     if len(groups) > max_groups:
@@ -95,9 +93,7 @@ def render_virtual_structure(mapper: SDSMapper, max_groups: int = 8) -> str:
     total = len(mapper.dstates())
     if total > max_groups:
         lines.append(f"... {total - max_groups} more dstates")
-    lines.append(
-        "(~ marks virtual states of an execution state in superposition)"
-    )
+    lines.append("(~ marks virtual states of an execution state in superposition)")
     return "\n".join(lines)
 
 
@@ -115,9 +111,7 @@ def render_state(
     if state.error is not None:
         lines.append(f"  error : {state.error!r}")
     if state.constraints:
-        lines.append("  path  : " + " && ".join(
-            pretty(c) for c in state.constraints
-        ))
+        lines.append("  path  : " + " && ".join(pretty(c) for c in state.constraints))
     if state.history:
         rendered = ", ".join(
             f"{kind}#{pid}{'->' if kind == 'tx' else '<-'}n{peer}"

@@ -84,6 +84,14 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "run.end": frozenset(["algorithm", "events"]),
     "worker.partition.start": frozenset(["partitions", "states"]),
     "worker.merge": frozenset(["workers"]),
+    # distributed execution (meta: depth cuts, job flow and work-stealing
+    # depend on worker count and timing, never on the simulated system)
+    "worker.partition.deepen": frozenset(["events", "partitions"]),
+    "worker.job.dispatch": frozenset(["job", "attempt"]),
+    "worker.job.done": frozenset(["job"]),
+    "worker.steal.request": frozenset(["victim"]),
+    "worker.steal.grant": frozenset(["job", "states"]),
+    "worker.steal.deny": frozenset(["job"]),
     # resilience (meta events: fault injection / recovery is harness-side)
     "worker.crash": frozenset(["task", "kind"]),
     "worker.retry": frozenset(["task", "attempt"]),

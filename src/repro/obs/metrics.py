@@ -269,6 +269,12 @@ def report_snapshot(report) -> dict:
         counters["parallel.failed_partitions"] = len(
             getattr(report, "failed_partitions", ())
         )
+    if hasattr(report, "partition_depth"):
+        counters["distributed.partition_depth"] = report.partition_depth
+        counters["distributed.jobs"] = report.jobs_dispatched
+        counters["distributed.steals.requested"] = report.steals_requested
+        counters["distributed.steals.granted"] = report.steals_granted
+        counters["distributed.steals.denied"] = report.steals_denied
     for name, value in counters.items():
         registry.counter(name).value = int(value)
 
