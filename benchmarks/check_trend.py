@@ -21,7 +21,10 @@ same headroom the bench asserts use for CI jitter) fails the check; a
 gated key missing from the fresh artifact fails immediately — silently
 dropping a measurement is how perf gates rot.  Wall-clock keys stay
 ungated (they track runner hardware, and the benches themselves hold the
-speedup bars); they are still printed for the log.
+speedup bars); they are still printed for the log.  A fresh key that the
+baseline's ``recorded`` section has never seen is printed as a
+``WARNING`` line — not a failure, but a prompt to refresh the baseline —
+so new measurements cannot slip past review unnoticed.
 
 To cut a new baseline after an intentional change, re-run the bench with
 ``SDE_BENCH_JSON`` and copy the fresh values into the committed file.
@@ -74,9 +77,20 @@ def check_trend(fresh: dict, baseline: dict, tolerance: float = TOLERANCE):
                 f"{key}: {value} regressed >{tolerance:.0%} vs"
                 f" baseline {pinned} ({direction} is better)"
             )
+    recorded = baseline.get("recorded", {})
     ungated = sorted(set(fresh) - set(gates))
     for key in ungated:
-        lines.append(f"    (ungated)  {key}: {fresh[key]}")
+        if key in recorded:
+            lines.append(f"    (ungated)  {key}: {fresh[key]}")
+        else:
+            # A fresh key the baseline has never seen: the bench grew a
+            # measurement after the baseline was cut.  Warn instead of
+            # passing silently — the next intentional baseline refresh
+            # should fold it in (and gate it if it is scale-free).
+            lines.append(
+                f"   WARNING    {key}: {fresh[key]}"
+                " (absent from baseline; refresh the baseline to track it)"
+            )
     return failures, lines
 
 

@@ -22,6 +22,10 @@ The facade groups four things:
   (:func:`make_mapper` / :func:`register_mapper`);
 - **the solver surface** — :class:`Solver`, :class:`ConstraintSet`,
   :class:`Model` (see ``docs/SOLVER.md`` for the pipeline);
+- **state-space reduction** — :func:`automorphisms`,
+  :func:`canonical_violations`, :func:`analyze_recv_handler`,
+  :class:`StateReducer` (see ``docs/REDUCTION.md``; enabled per run via
+  ``EngineConfig(symmetry=..., por=...)``);
 - **reports and observability** — :class:`RunReport`,
   :func:`save_report` / :func:`load_report`, :class:`TraceEmitter`.
 """
@@ -38,6 +42,12 @@ from .core.distributed import (
 )
 from .core.engine import RunReport, SDEEngine
 from .core.parallel import ParallelReport, ParallelRunner
+from .core.reduce import (
+    StateReducer,
+    analyze_recv_handler,
+    automorphisms,
+    canonical_violations,
+)
 from .core.reporting import load_report_dict, report_to_dict, save_report
 from .core.resilience import resume_engine
 from .core.scenario import (
@@ -92,6 +102,11 @@ __all__ = [
     "Solver",
     "ConstraintSet",
     "Model",
+    # state-space reduction
+    "StateReducer",
+    "analyze_recv_handler",
+    "automorphisms",
+    "canonical_violations",
     # reports and observability
     "RunReport",
     "report_to_dict",

@@ -90,6 +90,10 @@ def _run_report(scenario, algorithm, args, **caps):
     caps.update(_checkpoint_overrides(args))
     if _fusion_disabled(args):
         caps["fuse_ops"] = False
+    if getattr(args, "symmetry", False):
+        caps["symmetry"] = True
+    if getattr(args, "por", False):
+        caps["por"] = True
     if getattr(args, "distributed", False):
         from .core.distributed import DistributedRunner
 
@@ -297,7 +301,13 @@ def _cmd_trace(args) -> int:
     raise SystemExit(f"unknown trace command {args.trace_command!r}")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling can introspect the
+    real flag surface — ``tools/docs_lint.py`` walks this parser to keep
+    README/docs flag mentions honest.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SDE: scalable symbolic execution of distributed systems",
@@ -409,6 +419,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable opcode fusion (superinstructions); also honoured as"
         " the SDE_NO_FUSE environment variable",
     )
+    run_parser.add_argument(
+        "--symmetry",
+        action="store_true",
+        default=False,
+        help="symmetry reduction: park states whose canonical form under"
+        " the topology's node automorphisms is already explored"
+        " (docs/REDUCTION.md)",
+    )
+    run_parser.add_argument(
+        "--por",
+        action="store_true",
+        default=False,
+        help="partial-order reduction: sleep mapper twins whose exchange"
+        " with an independent delivery commutes (docs/REDUCTION.md)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     compare_parser = sub.add_parser(
@@ -480,7 +505,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     check_parser.add_argument("metrics", help="JSON file from --metrics-out")
     trace_parser.set_defaults(handler=_cmd_trace)
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
     return args.handler(args)
 
 

@@ -79,6 +79,16 @@ class EngineConfig:
     #: canonical form, and memoize per-conjunct model verdicts.
     #: Trace- and verdict-invisible; only work counters move.
     loop_reuse: bool = True
+    # -- state-space reduction (repro.core.reduce) --------------------------
+    #: symmetry reduction: park states whose canonical configuration
+    #: fingerprint (alpha-renamed, minimized over the topology's node
+    #: automorphisms) is already covered.  Preserves reported verdicts up
+    #: to symmetry (docs/REDUCTION.md); changes state/trace counts.
+    symmetry: bool = False
+    #: partial-order reduction: sleep mapper-created non-receiving twins
+    #: whose exchange with an independent delivery commutes (disjoint
+    #: channels/payloads, statically certified receive handler).
+    por: bool = False
 
     def __post_init__(self) -> None:
         # Accept lists for convenience; store tuples so the config stays

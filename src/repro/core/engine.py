@@ -41,6 +41,7 @@ from ..vm.executor import Executor
 from ..vm.state import CellValue, Event, ExecutionState, Status
 from .config import EngineConfig
 from .mapping import StateMapper
+from .reduce import StateReducer
 from .stats import Sample, StatsRecorder, estimate_state_bytes
 
 __all__ = ["SDEEngine", "RunReport", "PresetValue"]
@@ -89,6 +90,10 @@ class RunReport:
         # -- resilience extras ---------------------------------------------
         self.checkpoints_written = getattr(engine, "checkpoints_written", 0)
         self.resumed = getattr(engine, "resumed", False)
+        # -- symmetry/POR reduction (repro.core.reduce) ---------------------
+        self.reduce_stats = (
+            engine.reducer.stats_dict() if engine.reducer is not None else {}
+        )
         self.metrics = report_snapshot(self)
 
     def peak_states(self) -> int:
@@ -201,6 +206,20 @@ class SDEEngine:
         self.medium.trace = trace
         self.solver.attach_observability(trace, self.profiler)
         mapper.bind(self._register_state, trace=trace)
+        # Symmetry/POR reduction (repro.core.reduce): built only when a
+        # reduction flag is set, so default runs carry zero overhead.
+        self.reducer: Optional[StateReducer] = None
+        if config.symmetry or config.por:
+            self.reducer = StateReducer(
+                topology,
+                self.program,
+                symmetry=config.symmetry,
+                por=config.por,
+                trace=trace,
+            )
+        self._reduce_candidates: List[ExecutionState] = []
+        self._mapping_twins: List[ExecutionState] = []
+        self._mapping_active = False
 
     @staticmethod
     def _coerce_config(
@@ -262,7 +281,11 @@ class SDEEngine:
         )
         self.packets[packet.pid] = packet
         with self._phase_map:
-            receivers = self.mapper.map_transmission(sender, dest_node)
+            self._mapping_active = True
+            try:
+                receivers = self.mapper.map_transmission(sender, dest_node)
+            finally:
+                self._mapping_active = False
         sender.record_sent(packet.pid, dest_node)
         deliver_at = self.medium.delivery_time(sender.clock)
         if self.trace is not None:
@@ -289,6 +312,36 @@ class SDEEngine:
                     pid=packet.pid,
                     sid=receiver.sid,
                 )
+        if self.reducer is not None and self._mapping_twins:
+            self._reduce_mapping_twins(receivers, packet)
+
+    def _reduce_mapping_twins(
+        self, receivers: List[ExecutionState], packet: Packet
+    ) -> None:
+        """Sleep redundant non-receiving twins created by this mapping.
+
+        Mapper spawns during ``map_transmission`` that are *not* in the
+        receiver list exist only to pair other scenario combinations with
+        the non-delivery of this packet (SDS target twins, COW bystander
+        duplicates).  When such a twin's canonical form is already covered
+        and the delivery is independent of its pending events, exploring
+        it cannot reach a new configuration — the partial-order sleep.
+        """
+        twins, self._mapping_twins = self._mapping_twins, []
+        receiving = {receiver.sid for receiver in receivers}
+        for twin in twins:
+            if twin.sid in receiving:
+                self._reduce_candidates.append(twin)
+                continue
+            if self.reducer.observe_twin(twin, packet):
+                twin.status = Status.PRUNED
+                if self.trace is not None:
+                    self.trace.emit(
+                        "reduce.sleep",
+                        node=twin.node,
+                        t=twin.clock,
+                        sid=twin.sid,
+                    )
 
     # -- setup --------------------------------------------------------------------
 
@@ -352,6 +405,10 @@ class SDEEngine:
         """
         if not self._started:
             self.setup()
+        if self.reducer is not None and not self.reducer.seeded:
+            # Resumed checkpoints / restored worker partitions inherit
+            # states that must count as covered, never be parked.
+            self.reducer.seed(self.states.values())
         while True:
             if (split_events is not None and self.events_executed >= split_events):
                 break  # event-count split point reached
@@ -367,6 +424,8 @@ class SDEEngine:
             state.clock = event_time
             with self._phase_execute:
                 self._dispatch(state, event)
+            if self.reducer is not None:
+                self._apply_reduction()
             self.events_executed += 1
             if self._checkpoint_due():
                 self.write_checkpoint()
@@ -437,25 +496,35 @@ class SDEEngine:
         return out
 
     def _entry_valid(self, event_time: int, sid: int) -> bool:
+        # PRUNED states stay schedulable: their events must surface so the
+        # reducer can decide wake-vs-sleep per delivery (_dispatch_pruned).
         state = self.states.get(sid)
         return (
             state is not None
-            and state.status == Status.IDLE
+            and (state.status == Status.IDLE or state.status == Status.PRUNED)
             and state.peek_event_time() == event_time
         )
 
     def _schedule(self, state: ExecutionState) -> None:
-        if state.status == Status.IDLE and state.events:
+        if state.events and state.status in (Status.IDLE, Status.PRUNED):
             self.scheduler.push(state.peek_event_time(), state.sid)
 
     def _register_state(self, state: ExecutionState) -> None:
         """Spawn callback for mappers and failure models."""
         self.states[state.sid] = state
         self._schedule(state)
+        if self.reducer is not None:
+            if self._mapping_active:
+                self._mapping_twins.append(state)
+            else:
+                self._reduce_candidates.append(state)
 
     # -- event dispatch ---------------------------------------------------------------
 
     def _dispatch(self, state: ExecutionState, event: Event) -> None:
+        if state.status == Status.PRUNED:
+            self._dispatch_pruned(state, event)
+            return
         if event.kind == Event.BOOT:
             self._run_handler(state, HANDLER_BOOT, ())
         elif event.kind == Event.TIMER:
@@ -469,6 +538,23 @@ class SDEEngine:
             self._dispatch_reception(state, event.data)
         else:  # pragma: no cover - exhaustive over event kinds
             raise AssertionError(f"unknown event kind {event.kind!r}")
+
+    def _dispatch_pruned(self, state: ExecutionState, event: Event) -> None:
+        """An event surfaced on a parked state: wake or swallow.
+
+        The reducer wakes the state for a reception whose configuration ⊕
+        delivery class no active state has covered (restoring exactness
+        for reception-driven divergence); everything else is slept.
+        """
+        if self.reducer.on_pruned_event(state, event) == "wake":
+            state.status = Status.IDLE
+            if self.trace is not None:
+                self.trace.emit(
+                    "reduce.wake", node=state.node, t=state.clock, sid=state.sid
+                )
+            self._dispatch(state, event)
+        else:
+            self._schedule(state)  # keep draining the parked queue
 
     def _run_handler(
         self, state: ExecutionState, handler: str, args: Tuple[int, ...]
@@ -490,6 +576,8 @@ class SDEEngine:
                     status=result.status,
                     sid=result.sid,
                 )
+        if self.reducer is not None:
+            self._reduce_candidates.extend(results)
         return results
 
     def _on_local_fork(
@@ -509,6 +597,11 @@ class SDEEngine:
         self.mapper.on_local_fork(parent, children)
 
     def _dispatch_reception(self, state: ExecutionState, packet: Packet) -> None:
+        if self.reducer is not None:
+            # Mark (configuration ⊕ delivery) covered by an active state,
+            # so parked alpha-twins of this state can sleep through the
+            # same delivery class instead of waking.
+            self.reducer.record_delivery(state, packet)
         # Failure models first: they may fork the state (symbolic drop /
         # duplicate / reboot decisions).  Those forks are node-local
         # branches: COB reacts by forking dscenarios.
@@ -567,6 +660,33 @@ class SDEEngine:
             state.timer_generations[timer_id] += 1
         state.push_event(state.clock, Event.BOOT, None)
         self._schedule(state)
+
+    # -- symmetry/POR reduction (repro.core.reduce) -----------------------------------
+
+    def _apply_reduction(self) -> None:
+        """Park post-dispatch duplicates under the canonical seen-set.
+
+        Runs after each event completes — never mid-delivery-wave, so a
+        multi-delivery plan always finishes on live states.  Candidates
+        are every state touched or created by the dispatch; a candidate
+        whose canonical form is already covered is parked (not dropped:
+        it stays a dstate member and can be woken by an uncovered
+        delivery).
+        """
+        candidates, self._reduce_candidates = self._reduce_candidates, []
+        reducer = self.reducer
+        if not reducer.enabled:
+            return
+        for state in candidates:
+            if reducer.observe(state):
+                state.status = Status.PRUNED
+                if self.trace is not None:
+                    self.trace.emit(
+                        "reduce.prune",
+                        node=state.node,
+                        t=state.clock,
+                        sid=state.sid,
+                    )
 
     # -- sampling & caps --------------------------------------------------------------
 

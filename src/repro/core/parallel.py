@@ -129,6 +129,7 @@ class WorkerResult:
         "cache_stats",
         "solver_stats",
         "net_stats",
+        "reduce_stats",
         "phases",
         "histograms",
         "events",
@@ -159,6 +160,7 @@ class WorkerResult:
         self.cache_stats = report.cache_stats
         self.solver_stats = dict(report.solver_stats)
         self.net_stats = dict(report.net_stats)
+        self.reduce_stats = dict(getattr(report, "reduce_stats", {}) or {})
         self.phases = dict(report.phases)
         self.histograms = dict(report.histograms)
         self.events = list(events or [])
@@ -423,6 +425,10 @@ class ParallelReport:
             [prefix.solver_stats] + [w.solver_stats for w in results]
         )
         self.net_stats = _sum_dicts([prefix.net_stats] + [w.net_stats for w in results])
+        self.reduce_stats = _sum_dicts(
+            [getattr(prefix, "reduce_stats", {}) or {}]
+            + [getattr(w, "reduce_stats", {}) or {} for w in results]
+        )
         cache_parts = [
             part
             for part in [prefix.cache_stats] + [w.cache_stats for w in results]

@@ -1,0 +1,656 @@
+"""Symmetry + partial-order reduction over the SDS frontier (ROADMAP item 3).
+
+Every workload this reproduction runs is maximally symmetric — grids,
+lines and rings of *identical* programs — yet the engine explores each
+node's states as if unique.  This module attacks the state count itself,
+the multiplier on everything the solver/VM/distribution work made fast:
+
+- **Symmetry reduction** — every state reaching an idle point is reduced
+  to a *canonical configuration fingerprint*: guest memory, pending
+  events and the live-projected canonical constraint groups (the
+  content-based :class:`~repro.solver.constraints.ConstraintSet`
+  machinery from the solver overhaul), alpha-renamed so symbolic variable
+  identities don't matter, and minimized over the node's *stabilizer*
+  subgroup of the topology's automorphism group (so packet provenance
+  from interchangeable neighbours collapses).  A seen-set of canonical
+  forms prunes duplicates before they re-enter the frontier.
+
+- **Partial-order reduction** — mapper-created non-receiving twins are
+  the engine's communication interleavings: each one represents "this
+  packet reaches the target in a different scenario pairing".  When a
+  twin's canonical form is already covered *and* the triggering delivery
+  is independent of everything pending on the twin (disjoint channels and
+  payload footprints, commuting receive handler), the exchange provably
+  cannot reach a new node-local configuration, so the twin is put to
+  sleep instead of being explored.
+
+Pruned states are parked (``Status.PRUNED``), not discarded: they stay
+registered in their dstates so mapper invariants hold, and a later
+delivery that would reach an *uncovered* configuration class wakes them
+up (see :meth:`StateReducer.on_pruned_event`).  Soundness — which
+reported verdicts are preserved, under exactly which statically-checked
+program assumptions — is argued in ``docs/REDUCTION.md``; the reducer
+disables itself (``reduce.disabled`` counter) on programs the
+conservative analysis cannot certify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..expr.ast import BoolConst, BVConst, BVVar
+from ..lang.bytecode import CompiledProgram, Op
+from ..net.packet import Packet
+from ..net.topology import Topology
+from ..oslib.kernel import HANDLER_RECV
+from ..vm.state import Event, ExecutionState, Status
+
+__all__ = [
+    "MAX_AUTOMORPHISMS",
+    "ReduceStats",
+    "StateReducer",
+    "analyze_recv_handler",
+    "automorphisms",
+    "canonical_state_form",
+    "canonical_violations",
+    "delivery_independent",
+    "node_orbit",
+    "permute_state",
+    "state_fingerprint",
+]
+
+#: Enumeration cap on the automorphism group (mesh-k has k! of them).
+#: Truncation is sound — canonicalization over any identity-containing
+#: subset is still a well-defined equivalence, just a coarser reduction.
+MAX_AUTOMORPHISMS = 720
+
+#: Constraint sets larger than this are not fingerprinted (the state is
+#: left untouched); serialization cost would dwarf the pruning win.
+MAX_FINGERPRINT_CONJUNCTS = 2000
+
+_IDENTITY_CACHE: Dict[Tuple[str, int, frozenset], Tuple[Tuple[int, ...], ...]] = {}
+
+
+# ---------------------------------------------------------------------------
+# Topology automorphisms
+# ---------------------------------------------------------------------------
+
+
+def automorphisms(
+    topology: Topology, limit: int = MAX_AUTOMORPHISMS
+) -> Tuple[Tuple[int, ...], ...]:
+    """The node-permutation automorphism group of the topology graph.
+
+    Returned as sorted tuples ``perm`` with ``perm[node] == image``.
+    Enumeration stops at ``limit`` permutations (the identity is always
+    included), so highly symmetric graphs degrade to a subgroup-like
+    subset rather than an O(k!) blowup.
+    """
+    edges = frozenset(
+        (min(a, b), max(a, b)) for a, b in topology.graph.edges
+    )
+    cache_key = (topology.name, topology.node_count, edges)
+    cached = _IDENTITY_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    from networkx.algorithms.isomorphism import GraphMatcher
+
+    identity = tuple(range(topology.node_count))
+    found: Set[Tuple[int, ...]] = {identity}
+    matcher = GraphMatcher(topology.graph, topology.graph)
+    for mapping in matcher.isomorphisms_iter():
+        found.add(tuple(mapping[node] for node in range(topology.node_count)))
+        if len(found) >= limit:
+            break
+    result = tuple(sorted(found))
+    _IDENTITY_CACHE[cache_key] = result
+    return result
+
+
+def node_orbit(node: int, autos: Sequence[Tuple[int, ...]]) -> int:
+    """Canonical representative of ``node``'s orbit (the minimal image)."""
+    return min(perm[node] for perm in autos)
+
+
+# ---------------------------------------------------------------------------
+# Alpha-renamed canonical serialization
+# ---------------------------------------------------------------------------
+
+
+class _IdentityPerm:
+    """The identity permutation over any index (no fixed length)."""
+
+    __slots__ = ()
+
+    def __getitem__(self, index: int) -> int:
+        return index
+
+
+_IDENTITY = _IdentityPerm()
+
+
+class _Canon:
+    """Order-of-first-appearance renaming of symbolic variable names.
+
+    Symbolic names embed the creating node and a per-state counter
+    (``n2.reading3``), so two alpha-equivalent states never share names;
+    renaming by appearance order erases exactly that."""
+
+    __slots__ = ("names",)
+
+    def __init__(self, base: Optional["_Canon"] = None) -> None:
+        self.names: Dict[str, int] = dict(base.names) if base is not None else {}
+
+    def rename(self, name: str) -> int:
+        index = self.names.get(name)
+        if index is None:
+            index = len(self.names)
+            self.names[name] = index
+        return index
+
+
+def _serialize_expr(root, canon: _Canon, out: List) -> None:
+    """Append a pre-order token stream for ``root`` (iterative: constraint
+    chains from long loops exceed the recursion limit)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BVVar):
+            out.append(("v", canon.rename(node.name), node.width))
+            continue
+        if isinstance(node, BVConst):
+            out.append(("c", node.value, node.width))
+            continue
+        if isinstance(node, BoolConst):
+            out.append(("b", node.value))
+            continue
+        out.append(
+            (
+                type(node).__name__,
+                getattr(node, "op", None),
+                getattr(node, "low", None),
+                getattr(node, "signed", None),
+            )
+        )
+        children = node.children()
+        # Reversed so the stream stays in left-to-right pre-order.
+        stack.extend(reversed(children))
+
+
+def _serialize_cell(cell, canon: _Canon, out: List) -> None:
+    if isinstance(cell, int):
+        out.append(cell)
+    else:
+        out.append("<expr>")
+        _serialize_expr(cell, canon, out)
+
+
+def _live_variables(state: ExecutionState) -> Set:
+    """Symbolic variables an idle state can still observe: those in guest
+    memory plus those in pending packet payloads."""
+    live: Set = set()
+    for cell in state.memory:
+        if not isinstance(cell, int):
+            live.update(cell.variables())
+    for event in state.events:
+        if event.kind == Event.RECV:
+            for cell in event.data.payload:
+                if not isinstance(cell, int):
+                    live.update(cell.variables())
+    return live
+
+
+def _serialize_packet(packet: Packet, perm, canon: _Canon, out: List) -> None:
+    out.append(("pkt", perm[packet.src]))
+    for cell in packet.payload:
+        _serialize_cell(cell, canon, out)
+
+
+def _serialize_state(
+    state: ExecutionState, perm: Tuple[int, ...], canon: _Canon
+) -> List:
+    """One flat, hashable-token serialization of an idle state's
+    configuration under node relabelling ``perm``.
+
+    Includes: node (relabelled), status, guest memory, pending events in
+    deterministic order (timer liveness instead of absolute generations,
+    packet sources relabelled), and the live-projected canonical
+    constraint groups.  Excludes: sid, pc/stacks (empty between events),
+    clock (event times are absolute), communication history and symbolic
+    counters (future names are alpha-erased anyway).
+    """
+    out: List = [("node", perm[state.node]), ("status", state.status)]
+    out.append("mem")
+    for cell in state.memory:
+        _serialize_cell(cell, canon, out)
+    out.append("events")
+    for event in state.events:
+        if event.kind == Event.RECV:
+            out.append(("recv", event.time))
+            _serialize_packet(event.data, perm, canon, out)
+        elif event.kind == Event.TIMER:
+            live = event.generation == state.timer_generations.get(event.data, 0)
+            out.append(("timer", event.time, event.data, live))
+        else:
+            out.append((event.kind, event.time))
+    out.append("constraints")
+    live = _live_variables(state)
+    groups = []
+    for conjuncts, variables in state.constraints.partition_groups():
+        if live and not variables.isdisjoint(live):
+            group_out: List = []
+            group_canon = _Canon(canon)
+            for conjunct in conjuncts:
+                _serialize_expr(conjunct, group_canon, group_out)
+            groups.append(tuple(group_out))
+    # Groups are variable-disjoint components; sorting their serialized
+    # forms makes the ordering canonical without a global var order.
+    out.extend(sorted(groups))
+    return out
+
+
+def state_fingerprint(
+    state: ExecutionState, perm: Optional[Tuple[int, ...]] = None
+) -> Optional[tuple]:
+    """The alpha-renamed configuration fingerprint of one idle state."""
+    if len(state.constraints) > MAX_FINGERPRINT_CONJUNCTS:
+        return None
+    if perm is None:
+        perm = _IDENTITY
+    return tuple(_serialize_state(state, perm, _Canon()))
+
+
+def canonical_state_form(
+    state: ExecutionState, autos: Sequence[Tuple[int, ...]]
+) -> Optional[tuple]:
+    """The minimal fingerprint over the given permutations."""
+    if len(state.constraints) > MAX_FINGERPRINT_CONJUNCTS:
+        return None
+    return min(
+        tuple(_serialize_state(state, perm, _Canon())) for perm in autos
+    )
+
+
+def permute_state(state: ExecutionState, perm: Tuple[int, ...]) -> ExecutionState:
+    """A relabelled copy of ``state`` under node permutation ``perm``.
+
+    Test/diagnostic helper for the canonicalization property
+    ``canonical(permute(s)) == canonical(s)``: the node id and packet
+    sources are relabelled; symbolic names need no rewrite because the
+    fingerprint alpha-renames them away.
+    """
+    twin = state.fork()
+    twin.node = perm[state.node]
+    relabelled: List[Event] = []
+    for event in twin.events:
+        if event.kind == Event.RECV:
+            packet = event.data
+            moved = Packet(
+                perm[packet.src],
+                perm[packet.dest],
+                packet.payload,
+                packet.sent_at,
+                packet.broadcast_id,
+            )
+            relabelled.append(
+                Event(event.time, event.seq, event.kind, moved, event.generation)
+            )
+        else:
+            relabelled.append(event)
+    twin.events = relabelled
+    return twin
+
+
+# ---------------------------------------------------------------------------
+# Reported-verdict canonicalization
+# ---------------------------------------------------------------------------
+
+
+def canonical_violations(
+    states_or_report, topology: Topology
+) -> frozenset:
+    """The set of reported violations up to symmetry and alpha-renaming.
+
+    Accepts a :class:`~repro.core.engine.RunReport` (or anything with an
+    ``error_states`` attribute) or an iterable of states.  Each error
+    state contributes one signature: the guest error (kind, message,
+    line, code) plus the orbit of the node that reported it.  This is the
+    *violation class* — the granularity at which the engine reports bugs
+    (``report_to_dict``'s ``errors`` rows) — deliberately coarser than a
+    full state canonicalization: a pruned path's violations surface on a
+    symmetric representative whose global clock and peer context may
+    differ, but never its violation class.  Reduction on vs. off must
+    agree on this set — that is the equivalence gate in
+    ``test_optimizer_equivalence.py``.
+    """
+    states = getattr(states_or_report, "error_states", states_or_report)
+    autos = automorphisms(topology)
+    signatures = set()
+    for state in states:
+        if state.status != Status.ERROR or state.error is None:
+            continue
+        error = state.error
+        signatures.add(
+            (
+                error.kind,
+                error.message,
+                error.line,
+                error.code,
+                node_orbit(state.node, autos),
+            )
+        )
+    return frozenset(signatures)
+
+
+# ---------------------------------------------------------------------------
+# Conservative receive-handler analysis (the POR independence guard)
+# ---------------------------------------------------------------------------
+
+#: Read-modify-write opcodes whose composition commutes
+#: (``x <op> a <op> b == x <op> b <op> a``).
+_COMMUTING_RMW = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.BAND, Op.BOR, Op.BXOR}
+)
+
+#: Syscalls with no effect outside the current state's own configuration.
+#: ``timer_set``/``*_send`` mutate globally visible behaviour; ``poke``
+#: writes arbitrary memory; all are rejected.
+_PURE_SYSCALLS = frozenset(
+    {
+        "node_id",
+        "node_count",
+        "time",
+        "symbolic",
+        "assume",
+        "assert",
+        "fail",
+        "recv_len",
+        "recv_src",
+        "recv_byte",
+        "lshr",
+        "min",
+        "max",
+        "abs",
+        "log",
+        "peek",
+    }
+)
+
+
+def analyze_recv_handler(program: CompiledProgram) -> Tuple[bool, str]:
+    """Certify that exchanging two independent deliveries commutes.
+
+    A linear, conservative scan of the ``on_recv`` bytecode.  Accepts the
+    handler iff every write to a *global* cell is a commutative
+    read-modify-write (``LOAD g; PUSH imm; <commuting op>; STORE g``),
+    every local read is preceded by an unconditional local write (no
+    state smuggled between invocations through stale frame slots), and
+    only pure syscalls occur.  Anything unclear — calls, indexed writes,
+    sends, timers — rejects.  Returns ``(ok, reason)``.
+    """
+    if not program.has_handler(HANDLER_RECV):
+        return True, "no receive handler"
+    index = program.function_index[HANDLER_RECV]
+    func = program.functions[index]
+    code = program.code[func.entry : func.entry + func.code_length]
+    global_cells = set()
+    for address, size in program.globals_layout.values():
+        global_cells.update(range(address, address + size))
+    frame = range(func.param_base, func.param_base + func.frame_size)
+    written = set(range(func.param_base, func.param_base + len(func.params)))
+    branched = False
+    for offset, instr in enumerate(code):
+        op = instr.op
+        if op in (Op.JMP, Op.JZ, Op.JNZ):
+            branched = True
+        elif op == Op.LOAD:
+            if instr.arg in frame and instr.arg not in written:
+                return False, f"reads frame cell {instr.arg} before writing it"
+        elif op == Op.STORE:
+            if instr.arg in global_cells:
+                if not _is_commuting_rmw(code, offset, instr.arg):
+                    return False, (
+                        f"non-commutative write to global cell {instr.arg}"
+                    )
+            elif not branched:
+                written.add(instr.arg)
+        elif op == Op.STOREI:
+            return False, "indexed store"
+        elif op == Op.LOADI:
+            base, size = instr.arg
+            if any(cell in frame for cell in range(base, base + size)):
+                return False, "indexed read of a frame array"
+        elif op == Op.CALL:
+            return False, "calls a function"
+        elif op == Op.SYS:
+            name = instr.arg[0]
+            if name not in _PURE_SYSCALLS:
+                return False, f"impure syscall {name}"
+    return True, "commutes"
+
+
+def _is_commuting_rmw(code, offset: int, address: int) -> bool:
+    if offset < 3:
+        return False
+    load, push, arith = code[offset - 3], code[offset - 2], code[offset - 1]
+    return (
+        load.op == Op.LOAD
+        and load.arg == address
+        and push.op == Op.PUSH
+        and arith.op in _COMMUTING_RMW
+    )
+
+
+def delivery_independent(a: Packet, b: Packet) -> bool:
+    """Paper-style independence of two deliveries to the same node: they
+    arrive on disjoint channels (different senders) and their payloads
+    share no symbolic variables, so — given a commuting handler — their
+    exchange cannot change the reachable configuration."""
+    if a.src == b.src:
+        return False
+    vars_a: Set = set()
+    for cell in a.payload:
+        if not isinstance(cell, int):
+            vars_a.update(cell.variables())
+    if not vars_a:
+        return True
+    for cell in b.payload:
+        if not isinstance(cell, int) and not vars_a.isdisjoint(cell.variables()):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The reducer
+# ---------------------------------------------------------------------------
+
+
+class ReduceStats:
+    """Flow counters of one reducer; merged across workers like every
+    other stats dict (``_sum_dicts``)."""
+
+    __slots__ = (
+        "fingerprints",
+        "pruned",
+        "slept_twins",
+        "slept_events",
+        "woken",
+        "disabled",
+    )
+
+    def __init__(self) -> None:
+        #: canonical fingerprints computed
+        self.fingerprints = 0
+        #: states parked by the symmetry seen-set
+        self.pruned = 0
+        #: mapper twins put to sleep (commuting interleavings)
+        self.slept_twins = 0
+        #: events swallowed on parked states
+        self.slept_events = 0
+        #: parked states re-activated by an uncovered delivery
+        self.woken = 0
+        #: 1 if the program analysis vetoed reduction
+        self.disabled = 0
+
+
+class StateReducer:
+    """Seen-set of canonical forms + sleep/wake policy for one engine run.
+
+    Built by the engine when ``EngineConfig.symmetry`` or ``.por`` is
+    set.  ``symmetry`` gates pruning of post-dispatch duplicates (local
+    branches, failure twins, dscenario copies); ``por`` gates sleeping of
+    mapper-created non-receiving twins.  Both share one seen-set, so
+    either flag alone still records coverage from all states it observes.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        program: CompiledProgram,
+        *,
+        symmetry: bool = True,
+        por: bool = True,
+        trace=None,
+    ) -> None:
+        self.symmetry = symmetry
+        self.por = por
+        self.trace = trace
+        self.autos = automorphisms(topology)
+        self._stabilizers = {
+            node: tuple(p for p in self.autos if p[node] == node)
+            for node in topology.nodes()
+        }
+        ok, reason = analyze_recv_handler(program)
+        #: reduction only activates on programs the conservative handler
+        #: analysis certifies; see docs/REDUCTION.md ("assumptions").
+        self.enabled = ok
+        self.disable_reason = None if ok else reason
+        self.seen: Dict[tuple, int] = {}
+        self.delivery_seen: Set[tuple] = set()
+        self.stats = ReduceStats()
+        self.seeded = False
+        if not ok:
+            self.stats.disabled = 1
+            if trace is not None:
+                trace.emit("reduce.disabled", reason=reason)
+
+    # -- fingerprinting -----------------------------------------------------
+
+    def _fingerprint(self, state: ExecutionState) -> Optional[tuple]:
+        perms = self._stabilizers[state.node]
+        if len(state.constraints) > MAX_FINGERPRINT_CONJUNCTS:
+            return None
+        self.stats.fingerprints += 1
+        return min(
+            tuple(_serialize_state(state, perm, _Canon())) for perm in perms
+        )
+
+    def orbit_count(self) -> int:
+        return len(self.seen)
+
+    # -- seeding (resume / restored worker partitions) ----------------------
+
+    def seed(self, states: Iterable[ExecutionState]) -> None:
+        """Record pre-existing states as covered without pruning any.
+
+        Called once at loop entry so resumed checkpoints and restored
+        worker partitions never park inherited work."""
+        self.seeded = True
+        if not self.enabled:
+            return
+        for state in states:
+            if state.status in (Status.IDLE, Status.PRUNED):
+                fingerprint = self._fingerprint(state)
+                if fingerprint is not None:
+                    self.seen.setdefault(fingerprint, state.sid)
+
+    # -- the symmetry prune (post-dispatch candidates) -----------------------
+
+    def observe(self, state: ExecutionState) -> bool:
+        """Record a state's canonical form; ``True`` means park it now."""
+        if not self.enabled or state.status != Status.IDLE:
+            return False
+        fingerprint = self._fingerprint(state)
+        if fingerprint is None:
+            return False
+        holder = self.seen.setdefault(fingerprint, state.sid)
+        if holder != state.sid and self.symmetry:
+            self.stats.pruned += 1
+            return True
+        return False
+
+    # -- the POR twin sleep (commuting interleavings) ------------------------
+
+    def observe_twin(self, twin: ExecutionState, packet: Packet) -> bool:
+        """``True`` iff a mapper-created non-receiving twin may sleep.
+
+        Requires ``por``, a certified handler, independence of the
+        triggering delivery from everything pending on the twin, and a
+        covered canonical form."""
+        if not self.enabled or twin.status != Status.IDLE:
+            return False
+        if not self.por:
+            return self.observe(twin) if self.symmetry else False
+        for event in twin.events:
+            if event.kind == Event.RECV and not delivery_independent(
+                packet, event.data
+            ):
+                return False
+        fingerprint = self._fingerprint(twin)
+        if fingerprint is None:
+            return False
+        holder = self.seen.setdefault(fingerprint, twin.sid)
+        if holder != twin.sid:
+            self.stats.slept_twins += 1
+            return True
+        return False
+
+    # -- wake-on-uncovered-delivery ------------------------------------------
+
+    def record_delivery(self, state: ExecutionState, packet: Packet) -> None:
+        """Mark (configuration ⊕ delivery) as covered by an active state."""
+        if not self.enabled:
+            return
+        key = self._delivery_key(state, packet)
+        if key is not None:
+            self.delivery_seen.add(key)
+
+    def on_pruned_event(self, state: ExecutionState, event: Event) -> str:
+        """Policy for an event surfacing on a parked state.
+
+        Self-generated events (boot/timer) are always swallowed — the
+        covering representative held the identical pending queue.  A
+        reception is swallowed only if its (configuration ⊕ delivery)
+        class was already dispatched on an active state; otherwise the
+        state wakes and explores it (``"wake"``)."""
+        if event.kind == Event.RECV and self.enabled:
+            key = self._delivery_key(state, event.data)
+            if key is not None and key not in self.delivery_seen:
+                self.delivery_seen.add(key)
+                self.stats.woken += 1
+                return "wake"
+        self.stats.slept_events += 1
+        return "sleep"
+
+    def _delivery_key(
+        self, state: ExecutionState, packet: Packet
+    ) -> Optional[tuple]:
+        if len(state.constraints) > MAX_FINGERPRINT_CONJUNCTS:
+            return None
+        self.stats.fingerprints += 1
+        best = None
+        for perm in self._stabilizers[state.node]:
+            canon = _Canon()
+            tokens = _serialize_state(state, perm, canon)
+            _serialize_packet(packet, perm, canon, tokens)
+            candidate = tuple(tokens)
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats_dict(self) -> Dict[str, int]:
+        out = {slot: getattr(self.stats, slot) for slot in ReduceStats.__slots__}
+        out["orbits"] = len(self.seen)
+        return out

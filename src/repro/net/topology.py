@@ -58,6 +58,13 @@ class Topology:
         return topology
 
     @classmethod
+    def ring(cls, k: int) -> "Topology":
+        """Nodes 0-1-...-(k-1)-0 in a cycle (dihedral symmetry group)."""
+        if k < 3:
+            raise ValueError("a ring needs at least 3 nodes")
+        return cls(nx.cycle_graph(k), name=f"ring-{k}")
+
+    @classmethod
     def star(cls, k: int) -> "Topology":
         """Node 0 is the hub; 1..k-1 are leaves."""
         return cls(nx.star_graph(k - 1), name=f"star-{k}")

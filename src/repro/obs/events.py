@@ -59,7 +59,7 @@ VOLATILE_FIELDS = frozenset(
 #: backend — and what each looks like after canonicalization — depends on
 #: per-process memo and cache state, while the *verdicts* (and hence all
 #: semantic events) do not.  The trace-diff tool skips them.
-META_EVENT_PREFIXES = ("worker.", "run.", "checkpoint.", "solver.")
+META_EVENT_PREFIXES = ("worker.", "run.", "checkpoint.", "solver.", "reduce.")
 
 #: ``ev`` -> required non-volatile fields.  The schema is deliberately
 #: flat: one JSON object per line, primitive values only.
@@ -92,6 +92,13 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "worker.steal.request": frozenset(["victim"]),
     "worker.steal.grant": frozenset(["job", "states"]),
     "worker.steal.deny": frozenset(["job"]),
+    # symmetry/POR reduction (meta: pruning decisions depend on seen-set
+    # arrival order, which worker split points perturb; verdict equality
+    # is pinned separately, not via trace diff)
+    "reduce.prune": frozenset(["node", "t"]),
+    "reduce.sleep": frozenset(["node", "t"]),
+    "reduce.wake": frozenset(["node", "t"]),
+    "reduce.disabled": frozenset(["reason"]),
     # resilience (meta events: fault injection / recovery is harness-side)
     "worker.crash": frozenset(["task", "kind"]),
     "worker.retry": frozenset(["task", "attempt"]),

@@ -257,6 +257,8 @@ def report_snapshot(report) -> dict:
             counters[f"solver.cache.{key}"] = value
     for key, value in dict(getattr(report, "net_stats", {}) or {}).items():
         counters[f"net.{key}"] = value
+    for key, value in dict(getattr(report, "reduce_stats", {}) or {}).items():
+        counters[f"reduce.{key}"] = value
     phases = getattr(report, "phases", {}) or {}
     for name, data in phases.items():
         counters[f"phase.{name}.count"] = data["count"]

@@ -64,6 +64,9 @@ class Status:
     TERMINATED = "terminated"  # simulation horizon reached / killed
     ERROR = "error"          # carries a GuestError
     INFEASIBLE = "infeasible"  # assume() contradicted the path condition
+    PRUNED = "pruned"        # parked by symmetry/POR reduction; still a
+    #                          dstate member, wakeable on an uncovered
+    #                          delivery (repro.core.reduce)
 
 
 class Event:

@@ -126,6 +126,60 @@ def test_loop_reuse_invisible(scenario, algorithm):
     )
 
 
+#: Symbolic readings guarded by assertions, so reduction runs report
+#: real violations for the verdict gate below.
+GUARDED_READINGS = """
+var seen;
+func on_boot() { timer_set(0, 40 + node_id() * 7); }
+func on_timer(tid) {
+    var buf[1];
+    buf[0] = symbolic("reading", 8);
+    bc_send(buf, 1);
+}
+func on_recv(src, len) {
+    var v = recv_byte(0);
+    assert(v < 200, 7);
+    seen += 1;
+}
+"""
+
+REDUCTION_TOPOLOGIES = [
+    Topology.full_mesh(3),
+    Topology.line(3),
+    Topology.ring(4),
+    Topology.grid(2, 2),
+]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize(
+    "topology", REDUCTION_TOPOLOGIES, ids=lambda t: t.name
+)
+def test_reduction_preserves_verdicts(topology, algorithm):
+    """Symmetry + POR prune states, never reported violations.
+
+    Unlike the solver/interpreter optimizations above, reduction is
+    *not* trace-invisible — it exists to skip work — so the gate is the
+    canonical violation set (``repro.core.reduce.canonical_violations``):
+    reduction on vs. off must report the same bugs, per (kind, message,
+    line, code, node orbit).
+    """
+    from repro.core.reduce import canonical_violations
+
+    scenario = Scenario(
+        name=f"guarded-{topology.name}",
+        program=GUARDED_READINGS,
+        topology=topology,
+        horizon_ms=300,
+    )
+    off = build_engine(scenario, algorithm).run()
+    on = build_engine(scenario, algorithm, symmetry=True, por=True).run()
+    verdicts_off = canonical_violations(off, topology)
+    assert verdicts_off, "gate is vacuous: scenario reported no violations"
+    assert canonical_violations(on, topology) == verdicts_off
+    assert on.total_states <= off.total_states
+
+
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_everything_off_equals_everything_on(algorithm):
     """The full PR 4-era configuration vs all optimizations at once."""

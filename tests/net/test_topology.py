@@ -30,6 +30,18 @@ class TestConstructors:
         for side, nodes in ((5, 25), (7, 49), (10, 100)):
             assert Topology.grid(side).node_count == nodes
 
+    def test_ring(self):
+        topo = Topology.ring(5)
+        assert topo.name == "ring-5"
+        assert topo.node_count == 5
+        assert topo.neighbors(0) == (1, 4)  # the wrap-around edge
+        assert topo.neighbors(2) == (1, 3)
+        assert topo.diameter() == 2
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            Topology.ring(2)
+
     def test_star(self):
         topo = Topology.star(5)
         assert topo.neighbors(0) == (1, 2, 3, 4)

@@ -1,0 +1,69 @@
+"""The docs-lint tool and the bench trend checker's warning path.
+
+``tools/docs_lint.py`` runs in CI as its own job; running it here too
+means a stale flag mention fails the plain test suite before a PR ever
+reaches CI.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+sys.path.insert(0, REPO_ROOT)
+
+import docs_lint  # noqa: E402
+
+from benchmarks.check_trend import check_trend  # noqa: E402
+
+
+class TestDocsLint:
+    def test_repo_docs_are_clean(self):
+        failures, lines = docs_lint.run_lint()
+        assert not failures, "\n".join(failures + lines)
+
+    def test_cli_flags_cover_known_surface(self):
+        flags = docs_lint.collect_cli_flags()
+        assert "--symmetry" in flags
+        assert "--por" in flags
+        assert "--workers" in flags
+        assert "--help" not in flags
+        assert flags["--por"] == ["repro run"]
+
+    def test_phantom_flag_detection(self, tmp_path):
+        doc = tmp_path / "FAKE.md"
+        doc.write_text("Use `repro run --warp-speed` for fast runs.\n")
+        docs = docs_lint.collect_doc_flags([str(doc)])
+        assert "--warp-speed" in docs
+        assert docs["--warp-speed"][0].endswith("FAKE.md:1")
+
+    def test_external_allowlist_is_not_part_of_cli(self):
+        flags = docs_lint.collect_cli_flags()
+        assert not (docs_lint.EXTERNAL_FLAGS & set(flags))
+
+
+class TestTrendWarnings:
+    BASELINE = {
+        "gates": {"speedup": {"direction": "higher", "value": 2.0}},
+        "recorded": {"speedup": 2.0, "wall_clock": 1.5},
+    }
+
+    def test_recorded_keys_stay_ungated(self):
+        fresh = {"speedup": 2.1, "wall_clock": 1.4}
+        failures, lines = check_trend(fresh, self.BASELINE)
+        assert not failures
+        assert any("(ungated)" in line and "wall_clock" in line for line in lines)
+        assert not any("WARNING" in line for line in lines)
+
+    def test_unknown_fresh_key_warns(self):
+        fresh = {"speedup": 2.1, "brand_new_metric": 7}
+        failures, lines = check_trend(fresh, self.BASELINE)
+        assert not failures  # a warning, not a failure
+        warned = [line for line in lines if "WARNING" in line]
+        assert len(warned) == 1
+        assert "brand_new_metric" in warned[0]
+
+    def test_gated_regression_still_fails(self):
+        fresh = {"speedup": 1.0}
+        failures, _ = check_trend(fresh, self.BASELINE)
+        assert failures

@@ -1,0 +1,134 @@
+"""Lint the documented CLI-flag surface against the real parser.
+
+Usage::
+
+    PYTHONPATH=src python tools/docs_lint.py
+
+Extracts every ``--flag`` token from ``README.md`` and ``docs/*.md`` and
+compares the set against the flags that ``repro``'s argument parser
+(``repro.cli.build_parser``) actually accepts, across all subcommands.
+
+Two failure modes, both fatal:
+
+- **phantom** — a flag the docs mention but no ``repro`` subcommand
+  accepts (stale docs after a rename/removal);
+- **undocumented** — a flag the CLI accepts but no doc mentions (new
+  features shipped without a docs surface).
+
+Flags that belong to *external* tools quoted in the docs (pytest, ruff,
+pip) are allowlisted below rather than special-cased in the regex, so a
+new external mention fails loudly and gets a deliberate entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Flags quoted in the docs that belong to external tools, not ``repro``.
+EXTERNAL_FLAGS = frozenset(
+    {
+        "--benchmark-only",  # pytest-benchmark
+        "--collect-only",  # pytest
+        "--check",  # ruff format --check
+    }
+)
+
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def collect_cli_flags():
+    """Map ``--flag`` -> sorted list of ``repro <subcommand>`` paths."""
+    from repro.cli import build_parser
+
+    flags = {}
+
+    def walk(parser: argparse.ArgumentParser, path: str) -> None:
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for name, sub in action.choices.items():
+                    walk(sub, f"{path} {name}")
+                continue
+            for option in action.option_strings:
+                if option.startswith("--") and option != "--help":
+                    flags.setdefault(option, set()).add(path)
+    walk(build_parser(), "repro")
+    return {flag: sorted(paths) for flag, paths in flags.items()}
+
+
+def collect_doc_flags(paths):
+    """Map ``--flag`` -> sorted list of ``file:line`` mentions."""
+    mentions = {}
+    for path in paths:
+        rel = os.path.relpath(path, REPO_ROOT)
+        with open(path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                for match in _FLAG_RE.findall(line):
+                    mentions.setdefault(match, []).append(f"{rel}:{lineno}")
+    return {flag: sorted(spots) for flag, spots in mentions.items()}
+
+
+def doc_paths():
+    paths = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            paths.append(os.path.join(docs_dir, name))
+    return paths
+
+
+def run_lint():
+    """Return ``(failures, report_lines)``."""
+    cli = collect_cli_flags()
+    docs = collect_doc_flags(doc_paths())
+    failures = []
+    lines = []
+
+    phantom = sorted(set(docs) - set(cli) - EXTERNAL_FLAGS)
+    for flag in phantom:
+        failures.append(
+            f"phantom flag {flag}: documented at {', '.join(docs[flag])}"
+            " but no repro subcommand accepts it"
+        )
+    undocumented = sorted(set(cli) - set(docs))
+    for flag in undocumented:
+        failures.append(
+            f"undocumented flag {flag}: accepted by"
+            f" {', '.join(cli[flag])} but never mentioned in"
+            " README.md or docs/*.md"
+        )
+    stale_external = sorted(EXTERNAL_FLAGS & set(cli))
+    for flag in stale_external:
+        failures.append(
+            f"allowlisted flag {flag} is now a real repro flag:"
+            " remove it from EXTERNAL_FLAGS"
+        )
+
+    lines.append(
+        f"docs-lint: {len(cli)} CLI flags, {len(docs)} documented tokens"
+        f" ({len(set(docs) & EXTERNAL_FLAGS)} external-tool mentions)"
+    )
+    for flag in sorted(cli):
+        where = "documented" if flag in docs else "UNDOCUMENTED"
+        lines.append(f"  {where:>12}  {flag}  ({', '.join(cli[flag])})")
+    return failures, lines
+
+
+def main() -> int:
+    failures, lines = run_lint()
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("docs-lint passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
