@@ -27,7 +27,10 @@ The facade groups four things:
   :class:`StateReducer` (see ``docs/REDUCTION.md``; enabled per run via
   ``EngineConfig(symmetry=..., por=...)``);
 - **reports and observability** — :class:`RunReport`,
-  :func:`save_report` / :func:`load_report`, :class:`TraceEmitter`.
+  :func:`save_report` / :func:`load_report`, :class:`TraceEmitter`;
+- **the job service** — :class:`SDEService`, :class:`ServiceLimits`,
+  :class:`SubmissionSpec`, :class:`RunStore` (``repro serve``; see
+  ``docs/SERVICE.md`` for the HTTP contract and lifecycle).
 """
 
 from __future__ import annotations
@@ -61,6 +64,15 @@ from .core.scenario import (
 )
 from .net.topology import Topology
 from .obs.events import TraceEmitter, load_trace
+from .service import (
+    JobRecord,
+    RunStore,
+    SDEService,
+    ServiceLimits,
+    SpecError,
+    SubmissionSpec,
+    serve_main,
+)
 from .solver import ConstraintSet, Model, Solver
 from .workloads import (
     WORKLOADS,
@@ -115,4 +127,12 @@ __all__ = [
     "load_report_dict",
     "TraceEmitter",
     "load_trace",
+    # the job service
+    "SDEService",
+    "ServiceLimits",
+    "SubmissionSpec",
+    "SpecError",
+    "RunStore",
+    "JobRecord",
+    "serve_main",
 ]

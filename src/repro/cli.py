@@ -301,6 +301,21 @@ def _cmd_trace(args) -> int:
     raise SystemExit(f"unknown trace command {args.trace_command!r}")
 
 
+def _cmd_serve(args) -> int:
+    from .service import ServiceLimits, serve_main
+
+    limits = ServiceLimits(
+        max_queue=args.max_queue,
+        max_active=args.max_active,
+        per_client=args.per_client,
+        job_timeout_seconds=args.job_timeout,
+        max_retries=args.job_retries,
+        checkpoint_every_events=args.checkpoint_every or 25,
+    )
+    serve_main(args.data_dir, host=args.host, port=args.port, limits=limits)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full ``repro`` argument parser.
 
@@ -485,6 +500,62 @@ def build_parser() -> argparse.ArgumentParser:
     testcases_parser.add_argument("--sim-seconds", type=int, default=5)
     testcases_parser.add_argument("--limit", type=int, default=50)
     testcases_parser.set_defaults(handler=_cmd_testcases)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the SDE job service (HTTP API, docs/SERVICE.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        default="sde-service-data",
+        help="run store root; parked jobs in it resume on boot",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="queued submissions held before returning HTTP 429",
+    )
+    serve_parser.add_argument(
+        "--max-active",
+        type=int,
+        default=2,
+        help="jobs executing concurrently (one worker subprocess each)",
+    )
+    serve_parser.add_argument(
+        "--per-client",
+        type=int,
+        default=8,
+        help="live (queued+running) jobs allowed per X-Client-Id",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-job wall budget in seconds across all attempts"
+        " (exceeding it is terminal, not retried)",
+    )
+    serve_parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=2,
+        help="retries after a crashed/raising attempt (resumes from the"
+        " job's checkpoint)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        help="worker checkpoint cadence in executed events (what drain"
+        " and retry resume from)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     trace_parser = sub.add_parser(
         "trace", help="inspect trace/metrics artifacts"

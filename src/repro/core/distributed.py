@@ -391,8 +391,9 @@ def _job_worker_main(
 ) -> None:  # pragma: no cover - subprocess
     """Pool-worker entry: serve job messages until told to stop.
 
-    ``SDE_CHAOS_KILL_WORKER`` makes every job's *first* subprocess attempt
-    die unreported (like an OOM kill); retries run normally.
+    ``SDE_CHAOS_KILL_WORKER`` makes job attempts die unreported (like an
+    OOM kill): every first attempt when set plain-truthy, a seeded
+    per-(job, attempt) coin when set to a fractional probability.
     """
     import gc
 
@@ -426,7 +427,7 @@ def _job_worker_main(
             outbox.put(("steal_deny", worker_index, -1))
             continue
         _, job_id, payload, attempt = message
-        if attempt == 0 and chaos_kill_requested():
+        if chaos_kill_requested(attempt, token=f"job:{job_id}"):
             os._exit(137)
         try:
             _execute_job(

@@ -287,9 +287,11 @@ def _worker_entry(
     supervisor unable to attribute the failure to a partition.
 
     ``SDE_CHAOS_KILL_WORKER`` (fault injection, CI's ``fault-smoke`` job)
-    makes every first attempt die unreported, like an OOM kill would.
+    makes first attempts die unreported, like an OOM kill would — every
+    first attempt when set plain-truthy, a seeded per-partition coin when
+    set to a fractional probability (docs/RESILIENCE.md).
     """
-    if attempt == 0 and chaos_kill_requested():
+    if chaos_kill_requested(attempt, token=f"partition:{task_index}"):
         os._exit(137)
     try:
         queue.put(pickle.dumps(execute_task_bytes(payload)))

@@ -55,6 +55,7 @@ __all__ = [
     "WorkerFailure",
     "WorkerSupervisor",
     "WorkerTaskError",
+    "chaos_kill_probability",
     "chaos_kill_requested",
     "load_checkpoint",
     "raise_worker_failure",
@@ -179,17 +180,55 @@ def raise_worker_failure(failure: WorkerFailure) -> None:
     raise error
 
 
-def chaos_kill_requested() -> bool:
-    """Fault-injection hook: ``SDE_CHAOS_KILL_WORKER`` truthy in the env.
+def chaos_kill_probability() -> float:
+    """Parse ``SDE_CHAOS_KILL_WORKER`` as a kill probability in [0, 1].
 
-    When set, every worker's *first* attempt dies via ``os._exit`` before
-    enqueueing a result — indistinguishable from an OOM-kill from the
-    supervisor's point of view.  Retries (attempt > 0) run normally, so a
-    chaos run must complete with results identical to an unfaulted run.
-    CI's ``fault-smoke`` job is built on this.
+    Accepted forms, in order of precedence:
+
+    - unset / ``"0"`` / ``"false"`` / ``"no"`` — chaos off (``0.0``);
+    - a float literal — clamped into ``[0.0, 1.0]`` (``"0.3"`` means 30%
+      of attempts die, the sustained partial-failure load the service
+      chaos gate runs under);
+    - any other truthy string (``"1"``, ``"yes"``, ``"banana"``) — the
+      historical all-or-nothing form, meaning ``1.0``.
     """
-    value = os.environ.get("SDE_CHAOS_KILL_WORKER", "")
-    return value.lower() not in ("", "0", "false", "no")
+    value = os.environ.get("SDE_CHAOS_KILL_WORKER", "").strip().lower()
+    if value in ("", "0", "false", "no"):
+        return 0.0
+    try:
+        probability = float(value)
+    except ValueError:
+        return 1.0
+    return min(max(probability, 0.0), 1.0)
+
+
+def chaos_kill_requested(attempt: int = 0, token: str = "") -> bool:
+    """Fault-injection hook: should this worker attempt die right now?
+
+    When triggered, the attempt dies via ``os._exit`` before enqueueing a
+    result — indistinguishable from an OOM-kill from the supervisor's
+    point of view.  Three regimes, per :func:`chaos_kill_probability`:
+
+    - probability ``0.0`` — never kill;
+    - probability ``1.0`` (any plain-truthy value) — kill exactly the
+      *first* attempt (``attempt == 0``); retries run normally, so a
+      chaos run must complete with results identical to an unfaulted
+      run.  CI's ``fault-smoke`` job is built on this.
+    - fractional probability — a **deterministic seeded coin** per
+      ``(token, attempt)``: independent attempts of the same task get
+      independent verdicts, and a rerun with the same tokens makes
+      identical kill decisions (no wall-clock or global-RNG reads).  A
+      task whose every retry loses the coin toss legitimately exhausts
+      its retries — graceful degradation is part of what the chaos gate
+      exercises.
+    """
+    probability = chaos_kill_probability()
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return attempt == 0
+    rng = random.Random(f"chaos:{token}:{attempt}")
+    return rng.random() < probability
 
 
 # ---------------------------------------------------------------------------

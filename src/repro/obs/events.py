@@ -59,7 +59,14 @@ VOLATILE_FIELDS = frozenset(
 #: backend — and what each looks like after canonicalization — depends on
 #: per-process memo and cache state, while the *verdicts* (and hence all
 #: semantic events) do not.  The trace-diff tool skips them.
-META_EVENT_PREFIXES = ("worker.", "run.", "checkpoint.", "solver.", "reduce.")
+META_EVENT_PREFIXES = (
+    "worker.",
+    "run.",
+    "checkpoint.",
+    "solver.",
+    "reduce.",
+    "service.",
+)
 
 #: ``ev`` -> required non-volatile fields.  The schema is deliberately
 #: flat: one JSON object per line, primitive values only.
@@ -104,6 +111,15 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     "worker.retry": frozenset(["task", "attempt"]),
     "checkpoint.write": frozenset(["events"]),
     "checkpoint.resume": frozenset(["events"]),
+    # job service (meta: admission, supervision and drain decisions are
+    # harness-side; job ids are content-digest prefixes + random suffixes)
+    "service.submit": frozenset(["workload", "algorithm", "dedup"]),
+    "service.reject": frozenset(["reason"]),
+    "service.job.start": frozenset(["job", "attempt"]),
+    "service.job.retry": frozenset(["job", "attempt"]),
+    "service.job.done": frozenset(["job", "state"]),
+    "service.drain": frozenset(["active", "queued"]),
+    "service.recover": frozenset(["jobs"]),
 }
 
 

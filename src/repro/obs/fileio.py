@@ -11,7 +11,12 @@ Implementation is the classic temp-file-in-same-directory + ``os.replace``
 dance (``os.replace`` is atomic on POSIX and Windows when source and
 destination share a filesystem, which same-directory guarantees).  The
 temp file is fsync'd before the rename so the rename never outlives the
-data on a crash.
+data on a crash, and the *containing directory* is fsync'd after the
+rename so the rename itself is durable: on POSIX the new directory entry
+lives in the directory's metadata, and a power loss between the rename
+and the directory sync could otherwise resurrect the old file — fatal
+for the service's run store, which treats a published report as
+immutable truth.
 """
 
 from __future__ import annotations
@@ -20,6 +25,26 @@ import os
 import tempfile
 
 __all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table; best-effort where unsupported.
+
+    Windows cannot open directories with ``os.open``; some filesystems
+    refuse to fsync a directory fd.  Both degrade to the pre-PR-9
+    guarantee (atomic but not crash-durable rename) rather than failing
+    the write.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_bytes(path, data: bytes) -> None:
@@ -35,6 +60,7 @@ def atomic_write_bytes(path, data: bytes) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(temp_path)

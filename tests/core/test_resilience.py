@@ -36,6 +36,7 @@ from repro.core.resilience import (
     WorkerFailure,
     WorkerSupervisor,
     WorkerTaskError,
+    chaos_kill_probability,
     chaos_kill_requested,
     load_checkpoint,
     resume_engine,
@@ -220,6 +221,70 @@ class TestRetryPolicy:
             assert chaos_kill_requested() is expected
         monkeypatch.delenv("SDE_CHAOS_KILL_WORKER")
         assert chaos_kill_requested() is False
+
+    def test_chaos_probability_parsing(self, monkeypatch):
+        for value, expected in (
+            ("", 0.0),
+            ("0", 0.0),
+            ("false", 0.0),
+            ("no", 0.0),
+            ("0.0", 0.0),
+            ("0.3", 0.3),
+            ("1", 1.0),
+            ("1.0", 1.0),
+            ("2.5", 1.0),  # clamped
+            ("-0.5", 0.0),  # clamped
+            ("yes", 1.0),  # plain-truthy string keeps the legacy meaning
+            ("banana", 1.0),
+        ):
+            monkeypatch.setenv("SDE_CHAOS_KILL_WORKER", value)
+            assert chaos_kill_probability() == expected
+        monkeypatch.delenv("SDE_CHAOS_KILL_WORKER")
+        assert chaos_kill_probability() == 0.0
+
+    def test_chaos_truthy_kills_only_first_attempt(self, monkeypatch):
+        monkeypatch.setenv("SDE_CHAOS_KILL_WORKER", "yes")
+        assert chaos_kill_requested(0, token="t") is True
+        assert chaos_kill_requested(1, token="t") is False
+        assert chaos_kill_requested(2, token="t") is False
+
+    def test_chaos_fractional_is_a_seeded_per_attempt_coin(self, monkeypatch):
+        monkeypatch.setenv("SDE_CHAOS_KILL_WORKER", "0.3")
+        verdicts = [
+            chaos_kill_requested(attempt, token=f"job{job}")
+            for job in range(40)
+            for attempt in range(3)
+        ]
+        # Deterministic: the same (token, attempt) grid re-decides
+        # identically on a rerun.
+        rerun = [
+            chaos_kill_requested(attempt, token=f"job{job}")
+            for job in range(40)
+            for attempt in range(3)
+        ]
+        assert verdicts == rerun
+        # Fractional: neither all-kill nor no-kill, and roughly the asked
+        # probability (wide tolerance — this is a seeded coin, not a
+        # statistics test).
+        rate = sum(verdicts) / len(verdicts)
+        assert 0.1 < rate < 0.5
+        # Attempts are independent coins: some first attempts survive and
+        # some retries die, unlike the all-or-nothing form.
+        first = [chaos_kill_requested(0, token=f"job{j}") for j in range(40)]
+        later = [chaos_kill_requested(1, token=f"job{j}") for j in range(40)]
+        assert any(first) and not all(first)
+        assert any(later) and not all(later)
+
+    def test_chaos_fractional_zero_and_one_edges(self, monkeypatch):
+        monkeypatch.setenv("SDE_CHAOS_KILL_WORKER", "0.0")
+        assert not any(
+            chaos_kill_requested(a, token=f"j{j}")
+            for j in range(10)
+            for a in range(3)
+        )
+        monkeypatch.setenv("SDE_CHAOS_KILL_WORKER", "1.0")
+        assert all(chaos_kill_requested(0, token=f"j{j}") for j in range(10))
+        assert not any(chaos_kill_requested(1, token=f"j{j}") for j in range(10))
 
 
 # ---------------------------------------------------------------------------

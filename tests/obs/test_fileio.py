@@ -64,6 +64,46 @@ class TestAtomicWrite:
         with pytest.raises(OSError):
             atomic_write_text(tmp_path / "absent" / "artifact.json", "x")
 
+    def test_containing_directory_is_fsynced_after_rename(
+        self, tmp_path, monkeypatch
+    ):
+        """Crash durability: the rename must be flushed, not just the data.
+
+        Capture every ``os.fsync`` call with the kind of file the fd
+        refers to — exactly one call must target the containing
+        directory, and it must come after the data fsync.
+        """
+        import stat
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            mode = os.fstat(fd).st_mode
+            synced.append("dir" if stat.S_ISDIR(mode) else "file")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write_text(tmp_path / "artifact.json", "durable")
+        assert synced == ["file", "dir"]
+
+    def test_directory_fsync_failure_is_not_fatal(self, tmp_path, monkeypatch):
+        """EINVAL from a directory fsync (some filesystems) degrades
+        gracefully: the write still lands and nothing raises."""
+        import stat
+
+        real_fsync = os.fsync
+
+        def picky_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError(22, "Invalid argument")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", picky_fsync)
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "content")
+        assert path.read_text() == "content"
+
 
 class TestConsumersWriteAtomically:
     def test_trace_dump_leaves_single_file(self, tmp_path):

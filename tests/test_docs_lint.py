@@ -30,6 +30,38 @@ class TestDocsLint:
         assert "--help" not in flags
         assert flags["--por"] == ["repro run"]
 
+    def test_service_and_loadgen_flags_are_collected(self):
+        flags = docs_lint.collect_cli_flags()
+        assert flags["--max-queue"] == ["repro serve"]
+        assert flags["--job-retries"] == ["repro serve"]
+        assert flags["--smoke"] == ["tools/loadgen.py"]
+        assert flags["--chaos"] == ["tools/loadgen.py"]
+        assert set(flags["--port"]) == {"repro serve", "tools/loadgen.py"}
+
+    def test_doc_walk_skips_pycache(self, tmp_path, monkeypatch):
+        docs_dir = tmp_path / "docs"
+        (docs_dir / "__pycache__").mkdir(parents=True)
+        (docs_dir / "REAL.md").write_text("real\n")
+        (docs_dir / "__pycache__" / "SNEAKY.md").write_text("--ghost\n")
+        (docs_dir / "stale.cpython-311.pyc").write_bytes(b"\x00")
+        (tmp_path / "README.md").write_text("readme\n")
+        monkeypatch.setattr(docs_lint, "REPO_ROOT", str(tmp_path))
+        paths = docs_lint.doc_paths()
+        names = {os.path.basename(p) for p in paths}
+        assert names == {"README.md", "REAL.md"}
+
+    def test_bytecode_hygiene_is_clean_here(self):
+        assert docs_lint.check_bytecode_hygiene() == []
+
+    def test_bytecode_hygiene_wants_gitignore_entries(
+        self, tmp_path, monkeypatch
+    ):
+        (tmp_path / ".gitignore").write_text("*.log\n")
+        monkeypatch.setattr(docs_lint, "REPO_ROOT", str(tmp_path))
+        failures = docs_lint.check_bytecode_hygiene()
+        assert any("__pycache__/" in f for f in failures)
+        assert any("*.pyc" in f for f in failures)
+
     def test_phantom_flag_detection(self, tmp_path):
         doc = tmp_path / "FAKE.md"
         doc.write_text("Use `repro run --warp-speed` for fast runs.\n")

@@ -6,7 +6,14 @@ Usage::
 
 Extracts every ``--flag`` token from ``README.md`` and ``docs/*.md`` and
 compares the set against the flags that ``repro``'s argument parser
-(``repro.cli.build_parser``) actually accepts, across all subcommands.
+(``repro.cli.build_parser``) actually accepts, across all subcommands,
+plus the ``tools/loadgen.py`` harness parser (its flags appear in
+``docs/SERVICE.md``).  Doc discovery walks ``docs/`` recursively but
+prunes ``__pycache__`` directories and skips compiled ``*.pyc`` artifacts.
+
+A third check audits bytecode hygiene: ``.gitignore`` must cover
+``__pycache__/`` and ``*.pyc``, and no compiled bytecode may be tracked
+by git (skipped when git isn't available).
 
 Two failure modes, both fatal:
 
@@ -57,7 +64,20 @@ def collect_cli_flags():
                 if option.startswith("--") and option != "--help":
                     flags.setdefault(option, set()).add(path)
     walk(build_parser(), "repro")
+    walk(_loadgen_parser(), "tools/loadgen.py")
     return {flag: sorted(paths) for flag, paths in flags.items()}
+
+
+def _loadgen_parser() -> argparse.ArgumentParser:
+    """Load the loadgen harness parser from its file (tools/ isn't a
+    package)."""
+    import importlib.util
+
+    path = os.path.join(REPO_ROOT, "tools", "loadgen.py")
+    module_spec = importlib.util.spec_from_file_location("_loadgen", path)
+    module = importlib.util.module_from_spec(module_spec)
+    module_spec.loader.exec_module(module)
+    return module.build_parser()
 
 
 def collect_doc_flags(paths):
@@ -75,10 +95,47 @@ def collect_doc_flags(paths):
 def doc_paths():
     paths = [os.path.join(REPO_ROOT, "README.md")]
     docs_dir = os.path.join(REPO_ROOT, "docs")
-    for name in sorted(os.listdir(docs_dir)):
-        if name.endswith(".md"):
-            paths.append(os.path.join(docs_dir, name))
+    for dirpath, dirnames, filenames in os.walk(docs_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(".md") and not name.endswith(".pyc"):
+                paths.append(os.path.join(dirpath, name))
     return paths
+
+
+def check_bytecode_hygiene():
+    """Failures if bytecode could leak into the repo or docs surface."""
+    failures = []
+    gitignore_path = os.path.join(REPO_ROOT, ".gitignore")
+    try:
+        with open(gitignore_path, encoding="utf-8") as handle:
+            ignored = {line.strip() for line in handle}
+    except OSError:
+        ignored = set()
+    for required in ("__pycache__/", "*.pyc"):
+        if required not in ignored:
+            failures.append(
+                f"bytecode hygiene: .gitignore is missing {required!r}"
+            )
+
+    import subprocess
+
+    try:
+        tracked = subprocess.run(
+            ["git", "ls-files", "*.pyc", "**/__pycache__/*"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return failures  # no git available: the .gitignore check stands
+    if tracked.returncode == 0:
+        for path in tracked.stdout.split():
+            failures.append(
+                f"bytecode hygiene: compiled artifact tracked by git: {path}"
+            )
+    return failures
 
 
 def run_lint():
@@ -107,6 +164,7 @@ def run_lint():
             f"allowlisted flag {flag} is now a real repro flag:"
             " remove it from EXTERNAL_FLAGS"
         )
+    failures.extend(check_bytecode_hygiene())
 
     lines.append(
         f"docs-lint: {len(cli)} CLI flags, {len(docs)} documented tokens"

@@ -1,0 +1,348 @@
+#!/usr/bin/env python
+"""Async load harness for the SDE job service (``repro serve``).
+
+Drives a running service with a bounded-concurrency stream of
+submissions — including deliberate duplicates, so the dedup cache gets
+exercised — handles 429 backpressure with client-side backoff, polls
+every job to a terminal state, and asserts the service's core robustness
+contract: **no job is ever left stuck**.
+
+Modes:
+
+- default / ``--smoke``: the CI-sized pass (small fast workloads, a few
+  duplicate pairs); records ``service_*`` trend keys via
+  ``benchmarks/record.py`` when ``SDE_BENCH_JSON`` is set.
+- ``--chaos``: run against a service started with
+  ``SDE_CHAOS_KILL_WORKER=<p>``.  On top of the terminal-state check,
+  every *retried* job that completed is re-executed in-process
+  (fault-free) and its report pinned equal on the deterministic fields —
+  the crash/retry/resume path must not change results.  Records under
+  the ``service_chaos_*`` prefix.
+
+Everything is stdlib: the HTTP client is a tiny hand-rolled
+request-per-connection speaking the same ``Connection: close`` dialect
+the service serves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+#: report fields that must be identical between a retried service run and
+#: a fault-free in-process run of the same spec (the PR 3 resume-equality
+#: surface, minus wall-clock and harness bookkeeping)
+DETERMINISTIC_REPORT_FIELDS = (
+    "total_states",
+    "events_executed",
+    "group_count",
+    "instructions",
+    "errors",
+    "virtual_ms",
+    "aborted",
+    "abort_reason",
+)
+
+#: terminal job states (mirrors repro.service.store.TERMINAL_STATES;
+#: kept literal so the harness can run without importing the package)
+TERMINAL = {"done", "failed", "timeout", "cancelled"}
+
+
+class ServiceClient:
+    """One-request-per-connection HTTP client for the service dialect."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        client_id: str = "loadgen",
+    ) -> Tuple[int, object]:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"X-Client-Id: {client_id}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout
+        )
+        try:
+            writer.write(head + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        status = int(header_blob.split(b" ", 2)[1])
+        text = body_blob.decode("utf-8", "replace")
+        try:
+            return status, json.loads(text)
+        except ValueError:
+            return status, text
+
+    async def submit_with_backoff(
+        self, spec: dict, client_id: str, max_tries: int = 60
+    ) -> dict:
+        """POST a spec, honouring 429/503 Retry-After with capped backoff."""
+        delay = 0.05
+        for _ in range(max_tries):
+            status, out = await self.request(
+                "POST", "/v1/runs", spec, client_id
+            )
+            if status in (200, 202):
+                return out
+            if status in (429, 503):
+                hinted = 0.0
+                if isinstance(out, dict):
+                    hinted = float(out.get("retry_after_seconds") or 0.0)
+                await asyncio.sleep(min(max(delay, hinted / 10), 1.0))
+                delay = min(delay * 2, 1.0)
+                continue
+            raise AssertionError(f"submit failed: HTTP {status} {out!r}")
+        raise AssertionError("submit kept getting backpressure; service stuck?")
+
+    async def wait_terminal(self, job_id: str, deadline: float) -> dict:
+        while True:
+            status, record = await self.request("GET", f"/v1/runs/{job_id}")
+            if status == 200 and record["state"] in TERMINAL:
+                return record
+            if time.time() > deadline:
+                raise AssertionError(
+                    f"job {job_id} stuck in state"
+                    f" {record.get('state') if status == 200 else status!r}"
+                )
+            await asyncio.sleep(0.1)
+
+
+def smoke_specs(jobs: int) -> List[dict]:
+    """A mixed batch: distinct small runs plus duplicate pairs.
+
+    Every third spec repeats the previous one, so roughly a third of the
+    batch should come back deduplicated (cached or coalesced).
+    """
+    specs: List[dict] = []
+    sizes = (3, 4, 5)
+    while len(specs) < jobs:
+        index = len(specs)
+        if index % 3 == 2 and specs:
+            specs.append(dict(specs[-1]))
+            continue
+        specs.append(
+            {
+                "workload": "flood",
+                "size": sizes[index % len(sizes)],
+                "algorithm": "sds",
+                "seed": index // 3,
+            }
+        )
+    return specs
+
+
+async def drive(args) -> dict:
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    specs = smoke_specs(args.jobs)
+    deadline = time.time() + args.deadline
+    gate = asyncio.Semaphore(args.concurrency)
+    dedup_hits = 0
+    submitted = []
+
+    async def one(index: int, spec: dict) -> dict:
+        nonlocal dedup_hits
+        async with gate:
+            out = await client.submit_with_backoff(
+                spec, client_id=f"loadgen-{index % args.clients}"
+            )
+        if out.get("deduplicated"):
+            dedup_hits += 1
+        submitted.append(out["id"])
+        record = await client.wait_terminal(out["id"], deadline)
+        return record
+
+    start = time.time()
+    records = await asyncio.gather(
+        *(one(i, spec) for i, spec in enumerate(specs))
+    )
+    wall = time.time() - start
+
+    states = {}
+    for record in records:
+        states[record["state"]] = states.get(record["state"], 0) + 1
+    terminal = sum(states.values())
+    stuck = len(records) - terminal
+    retried_done = [
+        r for r in records if r["state"] == "done" and r["retries"] > 0
+    ]
+
+    status, stats = await client.request("GET", "/v1/stats")
+    assert status == 200, f"/v1/stats returned {status}"
+    live = stats["service"]
+    assert live["queued"] == 0 and live["active"] == 0, (
+        f"service still has live work after the batch: {live}"
+    )
+
+    print(
+        f"loadgen: {len(records)} jobs in {wall:.2f}s — states {states},"
+        f" dedup hits {dedup_hits}, retried-and-done {len(retried_done)}"
+    )
+    assert stuck == 0, f"{stuck} jobs never reached a terminal state"
+    if not args.chaos:
+        not_done = {s: n for s, n in states.items() if s != "done"}
+        assert not not_done, f"fault-free smoke saw non-done jobs: {not_done}"
+        assert dedup_hits > 0, "duplicate submissions were never deduplicated"
+
+    mismatches = 0
+    if args.chaos:
+        assert states.get("done", 0) == len(records), (
+            f"chaos run: every job should retry to done, got {states}"
+        )
+        assert retried_done, (
+            "chaos run finished without a single retried job —"
+            " SDE_CHAOS_KILL_WORKER is not reaching the workers"
+        )
+        mismatches = await verify_retried_reports(client, retried_done)
+        assert mismatches == 0, (
+            f"{mismatches} retried jobs' reports differ from fault-free runs"
+        )
+
+    result = {
+        "jobs": len(records),
+        "wall_seconds": round(wall, 3),
+        "throughput_jobs_per_s": round(len(records) / wall, 3) if wall else 0.0,
+        "terminal_rate": terminal / len(records),
+        "dedup_hits": dedup_hits,
+        "retried_done": len(retried_done),
+        "report_mismatches": mismatches,
+        "states": states,
+    }
+    return result
+
+
+async def verify_retried_reports(
+    client: ServiceClient, records: List[dict]
+) -> int:
+    """Pin each retried job's report to a fault-free in-process run."""
+    from repro.api import make_workload, report_to_dict, run_scenario
+
+    mismatches = 0
+    for record in records:
+        status, served = await client.request(
+            "GET", f"/v1/runs/{record['id']}/report"
+        )
+        assert status == 200, f"report for {record['id']}: HTTP {status}"
+        spec = record["spec"]
+        scenario = make_workload(
+            spec["workload"], spec["size"], **spec["workload_args"]
+        )
+        reference = report_to_dict(
+            run_scenario(scenario, spec["algorithm"], **spec["config"])
+        )
+        for field in DETERMINISTIC_REPORT_FIELDS:
+            if served.get(field) != reference.get(field):
+                mismatches += 1
+                print(
+                    f"MISMATCH {record['id']} {field}:"
+                    f" served={served.get(field)!r}"
+                    f" reference={reference.get(field)!r}"
+                )
+                break
+    return mismatches
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The loadgen flag surface (walked by ``tools/docs_lint.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="loadgen", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--jobs", type=int, default=24, help="total submissions to issue"
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="submissions in flight at once",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="distinct X-Client-Id values to spread load across",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        help="seconds before an unfinished job counts as stuck",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized pass: 12 jobs, concurrency 6",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="expect worker kills: all jobs must still reach done, and"
+        " retried jobs' reports must match fault-free runs",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.jobs = min(args.jobs, 12)
+        args.concurrency = min(args.concurrency, 6)
+    result = asyncio.run(drive(args))
+
+    prefix = "service_chaos" if args.chaos else "service"
+    if os.environ.get("SDE_BENCH_JSON"):
+        from benchmarks.record import record_bench
+
+        record_bench(
+            **{
+                f"{prefix}_jobs": result["jobs"],
+                f"{prefix}_wall_seconds": result["wall_seconds"],
+                f"{prefix}_throughput_jobs_per_s": result[
+                    "throughput_jobs_per_s"
+                ],
+                f"{prefix}_terminal_rate": result["terminal_rate"],
+                f"{prefix}_dedup_hits": result["dedup_hits"],
+                f"{prefix}_retried_done": result["retried_done"],
+                f"{prefix}_report_mismatches": result["report_mismatches"],
+            }
+        )
+    print(f"loadgen OK ({prefix}): {json.dumps(result, sort_keys=True)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
