@@ -14,7 +14,11 @@ versions, while this facade's ``__all__`` is the compatibility contract.
 The facade groups four things:
 
 - **scenario construction** — :class:`Scenario`, :class:`Topology`, the
-  workload registry (:func:`make_workload` / :func:`register_workload`);
+  workload registry (:func:`make_workload` / :func:`register_workload`),
+  and the network-medium registry (:func:`make_medium` /
+  :func:`register_medium` / :func:`available_media`, with the built-in
+  :class:`IdealMedium` and :class:`RealisticMedium`; see
+  ``docs/NETWORK.md``);
 - **engine configuration and runs** — :class:`EngineConfig`,
   :func:`build_engine`, :func:`run_scenario`, :class:`SDEEngine`,
   :class:`ParallelRunner`, :class:`DistributedRunner` (with the
@@ -62,6 +66,14 @@ from .core.scenario import (
     register_mapper,
     run_scenario,
 )
+from .net.medium import (
+    IdealMedium,
+    Medium,
+    available_media,
+    make_medium,
+    register_medium,
+)
+from .net.realistic import RealisticMedium
 from .net.topology import Topology
 from .obs.events import TraceEmitter, load_trace
 from .service import (
@@ -93,6 +105,13 @@ __all__ = [
     "available_workloads",
     "make_workload",
     "register_workload",
+    # network media
+    "Medium",
+    "IdealMedium",
+    "RealisticMedium",
+    "available_media",
+    "make_medium",
+    "register_medium",
     # engine configuration and runs
     "EngineConfig",
     "SDEEngine",

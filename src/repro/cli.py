@@ -12,10 +12,13 @@ Commands:
   (``trace summary``, ``trace diff``, ``trace check-metrics``)
 
 Scenario selectors for run/compare/testcases: ``grid:<side>``,
-``line:<k>``, ``flood:<k>`` (e.g. ``grid:5`` is the paper's 25-node grid).
-``run`` accepts ``--trace-out events.jsonl`` and ``--metrics-out
-metrics.json`` to capture the structured observability artifacts, and
-``--no-fuse`` (or ``SDE_NO_FUSE=1``) to run on the unfused base ISA.
+``line:<k>``, ``flood:<k>``, ``election:<k>``, ``quorum:<k>``
+(e.g. ``grid:5`` is the paper's 25-node grid).  ``run`` accepts
+``--trace-out events.jsonl`` and ``--metrics-out metrics.json`` to capture
+the structured observability artifacts, ``--no-fuse`` (or ``SDE_NO_FUSE=1``)
+to run on the unfused base ISA, and the network-medium flags
+(``--medium``, ``--link-loss``, ``--link-jitter-ms``, ``--link-bandwidth``,
+``--link-queue``, ``--net-seed``; docs/NETWORK.md).
 """
 
 from __future__ import annotations
@@ -30,7 +33,13 @@ from .bench.runner import BenchRow, run_one
 from .core.scenario import ALGORITHMS, Scenario, build_engine
 from .core.testcase import generate_incrementally
 from .obs import TraceEmitter, save_metrics
-from .workloads import flood_scenario, grid_scenario, line_scenario
+from .workloads import (
+    election_scenario,
+    flood_scenario,
+    grid_scenario,
+    line_scenario,
+    quorum_scenario,
+)
 
 __all__ = ["main"]
 
@@ -39,7 +48,8 @@ def _parse_scenario(spec: str, sim_seconds: int) -> Scenario:
     kind, _, size_text = spec.partition(":")
     if not size_text:
         raise SystemExit(
-            f"bad scenario {spec!r}: use grid:<side>, line:<k> or flood:<k>"
+            f"bad scenario {spec!r}: use grid:<side>, line:<k>, flood:<k>,"
+            " election:<k> or quorum:<k>"
         )
     size = int(size_text)
     if kind == "grid":
@@ -48,7 +58,45 @@ def _parse_scenario(spec: str, sim_seconds: int) -> Scenario:
         return line_scenario(size, sim_seconds=sim_seconds)
     if kind == "flood":
         return flood_scenario(size, rounds=max(1, sim_seconds))
+    if kind == "election":
+        return election_scenario(size)
+    if kind == "quorum":
+        return quorum_scenario(size)
     raise SystemExit(f"unknown scenario kind {kind!r}")
+
+
+#: ``--link-*`` flag dest -> RealisticMedium constructor parameter.
+_LINK_FLAGS = {
+    "link_loss": "loss",
+    "link_jitter_ms": "jitter_ms",
+    "link_bandwidth": "bandwidth_cells_per_ms",
+    "link_queue": "queue_capacity",
+    "net_seed": "seed",
+}
+
+
+def _medium_overrides(args) -> dict:
+    """Engine overrides for ``--medium`` and the ``--link-*`` flags.
+
+    Link parameters without an explicit ``--medium`` imply ``realistic``
+    (the ideal medium has no links to configure — asking for both is a
+    contradiction and fails loudly).  Returns ``{}`` when no medium flag
+    was given, so scenario defaults (e.g. quorum's routed medium) stand.
+    """
+    medium = getattr(args, "medium", None)
+    params = {
+        param: value
+        for dest, param in _LINK_FLAGS.items()
+        if (value := getattr(args, dest, None)) is not None
+    }
+    if medium is None and not params:
+        return {}
+    if params and medium == "ideal":
+        raise SystemExit(
+            "--link-* flags configure the realistic medium; they cannot be"
+            " combined with --medium ideal"
+        )
+    return {"medium": medium or "realistic", "medium_params": params}
 
 
 def _checkpoint_overrides(args) -> dict:
@@ -88,6 +136,7 @@ def _run_report(scenario, algorithm, args, **caps):
     """One run — distributed/parallel per the worker flags, else sequential."""
     trace = TraceEmitter() if getattr(args, "trace_out", None) else None
     caps.update(_checkpoint_overrides(args))
+    caps.update(_medium_overrides(args))
     if _fusion_disabled(args):
         caps["fuse_ops"] = False
     if getattr(args, "symmetry", False):
@@ -448,6 +497,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="partial-order reduction: sleep mapper twins whose exchange"
         " with an independent delivery commutes (docs/REDUCTION.md)",
+    )
+    from .net.medium import available_media
+
+    run_parser.add_argument(
+        "--medium",
+        choices=available_media(),
+        default=None,
+        help="network medium (default: the scenario's choice, usually"
+        " 'ideal'; docs/NETWORK.md)",
+    )
+    run_parser.add_argument(
+        "--link-loss",
+        type=float,
+        default=None,
+        help="per-hop packet loss probability in [0,1) (implies"
+        " --medium realistic)",
+    )
+    run_parser.add_argument(
+        "--link-jitter-ms",
+        type=int,
+        default=None,
+        help="per-hop uniform jitter bound in ms (implies --medium realistic)",
+    )
+    run_parser.add_argument(
+        "--link-bandwidth",
+        type=int,
+        default=None,
+        help="link bandwidth in payload cells per ms; 0 = infinite"
+        " (implies --medium realistic)",
+    )
+    run_parser.add_argument(
+        "--link-queue",
+        type=int,
+        default=None,
+        help="per-link egress queue capacity in packets; beyond it the"
+        " tail is dropped (implies --medium realistic)",
+    )
+    run_parser.add_argument(
+        "--net-seed",
+        type=int,
+        default=None,
+        help="seed for the medium's loss/jitter draws (reports quote it;"
+        " replays are bit-identical under the same seed)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 

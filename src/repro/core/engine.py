@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..lang.bytecode import CompiledProgram
 from ..lang.compiler import compile_source
-from ..net.medium import Medium
+from ..net.medium import make_medium
 from ..net.packet import Packet
 from ..net.topology import Topology
 from ..obs.events import TraceEmitter
@@ -151,7 +151,9 @@ class SDEEngine:
         self.program = program
         self.topology = topology
         self.mapper = mapper
-        self.medium = Medium(topology, config.latency_ms)
+        medium_params = dict(config.medium_params or {})
+        medium_params.setdefault("latency_ms", config.latency_ms)
+        self.medium = make_medium(config.medium, topology, **medium_params)
         self.clock = VirtualClock(config.horizon_ms)
         self.solver = solver if solver is not None else config.make_solver()
         self.executor = Executor(
@@ -216,6 +218,7 @@ class SDEEngine:
                 symmetry=config.symmetry,
                 por=config.por,
                 trace=trace,
+                medium=self.medium,
             )
         self._reduce_candidates: List[ExecutionState] = []
         self._mapping_twins: List[ExecutionState] = []
@@ -260,14 +263,18 @@ class SDEEngine:
 
         if dest == sender.node:
             raise SyscallAbort("unicast to self")
-        for node in self.medium.unicast_targets(sender.node, dest):
-            self._transmit(sender, node, payload, broadcast_id=0)
+        for node, deliver_at in self.medium.plan_unicast(
+            sender, dest, len(payload)
+        ):
+            self._transmit(sender, node, payload, 0, deliver_at)
 
     def guest_broadcast(self, sender: ExecutionState, payload: List[CellValue]) -> None:
         broadcast_id = next(self._broadcast_ids)
         # Broadcast = a series of unicasts to every neighbour (footnote 1).
-        for node in self.medium.broadcast_targets(sender.node):
-            self._transmit(sender, node, payload, broadcast_id)
+        for node, deliver_at in self.medium.plan_broadcast(
+            sender, len(payload)
+        ):
+            self._transmit(sender, node, payload, broadcast_id, deliver_at)
 
     def _transmit(
         self,
@@ -275,6 +282,7 @@ class SDEEngine:
         dest_node: int,
         payload: List[CellValue],
         broadcast_id: int,
+        deliver_at: int,
     ) -> None:
         packet = Packet(
             sender.node, dest_node, tuple(payload), sender.clock, broadcast_id
@@ -287,7 +295,6 @@ class SDEEngine:
             finally:
                 self._mapping_active = False
         sender.record_sent(packet.pid, dest_node)
-        deliver_at = self.medium.delivery_time(sender.clock)
         if self.trace is not None:
             self.trace.emit(
                 "packet.send",

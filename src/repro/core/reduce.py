@@ -511,6 +511,7 @@ class StateReducer:
         symmetry: bool = True,
         por: bool = True,
         trace=None,
+        medium=None,
     ) -> None:
         self.symmetry = symmetry
         self.por = por
@@ -521,6 +522,19 @@ class StateReducer:
             for node in topology.nodes()
         }
         ok, reason = analyze_recv_handler(program)
+        if ok and medium is not None and not medium.node_symmetric():
+            # Canonical fingerprints equate states up to node relabelling
+            # (and exclude communication history), but a medium with
+            # per-link loss/jitter draws or finite-bandwidth queues keys
+            # delivery on concrete link ids and history position — the
+            # equivalence no longer implies equal futures, so reduction
+            # must stand down rather than prune unsoundly.
+            ok = False
+            reason = (
+                f"medium {medium.name!r} is not node-symmetric"
+                " (per-link loss/jitter/queueing breaks automorphism"
+                " invariance)"
+            )
         #: reduction only activates on programs the conservative handler
         #: analysis certifies; see docs/REDUCTION.md ("assumptions").
         self.enabled = ok

@@ -39,6 +39,10 @@ def report_to_dict(report: RunReport, include_series: bool = True) -> Dict:
         "peak_accounted_bytes": report.peak_accounted_bytes(),
         "solver_queries": report.solver_queries,
         "mapping_stats": dict(report.mapping_stats),
+        # Additive in schema 1: the medium's counters (docs/NETWORK.md) —
+        # deterministic under a fixed net seed, so replay diffs catch
+        # divergence at the link layer too.
+        "net_stats": dict(report.net_stats),
         # Additive in schema 1: the observability layer's phase timings and
         # full metrics snapshot (see docs/OBSERVABILITY.md).
         "phases": {

@@ -512,7 +512,10 @@ CHECKPOINT_MAGIC = b"SDECKPT"
 # Version 2: construction parameters travel as one EngineConfig under
 # "config", and solver counters as the solver's stats_dict under
 # "solver_stats" (version-1 checkpoints carried both exploded).
-CHECKPOINT_VERSION = 2
+# Version 3: EngineConfig gained medium/medium_params and ExecutionState
+# gained the link_busy slot — version-2 pickles would deserialize into
+# objects silently missing both, so they are rejected at the header.
+CHECKPOINT_VERSION = 3
 
 
 class CheckpointError(RuntimeError):
@@ -689,8 +692,7 @@ def resume_engine(path, trace=None, **engine_overrides):
     _restore_histogram(solver.conjunct_histogram, payload["conjunct_histogram"])
     for slot, value in payload["mapping_stats"].items():
         setattr(mapper.stats, slot, value)
-    for name, value in payload["net_stats"].items():
-        setattr(engine.medium, name, value)
+    engine.medium.restore_stats(payload["net_stats"])
     if payload["cache_stats"] and solver._cache is not None:
         from ..solver import CacheStats
 

@@ -82,6 +82,10 @@ class Scenario:
     failure_factory: Callable[[], Sequence[FailureModel]] = tuple
     preset_globals: Dict[str, PresetValue] = field(default_factory=dict)
     latency_ms: int = 1
+    #: network medium registry name plus its construction parameters
+    #: (docs/NETWORK.md); "ideal" is the paper-fidelity default.
+    medium: str = "ideal"
+    medium_params: Dict[str, object] = field(default_factory=dict)
     boot_times: Optional[List[int]] = None
     max_states: Optional[int] = None
     max_accounted_bytes: Optional[int] = None
@@ -110,6 +114,10 @@ class Scenario:
             failure_models=tuple(self.failure_factory()),
             preset_globals=self.preset_globals,
             latency_ms=self.latency_ms,
+            medium=self.medium,
+            medium_params=(
+                dict(self.medium_params) if self.medium_params else None
+            ),
             boot_times=(
                 tuple(self.boot_times) if self.boot_times is not None else None
             ),

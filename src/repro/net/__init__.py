@@ -1,4 +1,10 @@
-"""Network substrate: topologies, packets, ideal medium, symbolic failures."""
+"""Network substrate: topologies, packets, pluggable media, symbolic failures.
+
+Media plug in through a registry (``register_medium`` / ``make_medium`` /
+``available_media``); the built-ins are ``"ideal"`` (the paper's medium)
+and ``"realistic"`` (lossy/jittered/bandwidth-limited routed links,
+docs/NETWORK.md).
+"""
 
 from .failures import (  # noqa: F401
     DeliveryPlan,
@@ -9,6 +15,13 @@ from .failures import (  # noqa: F401
     standard_failure_suite,
 )
 from .link_failures import SymbolicLinkFailure  # noqa: F401
-from .medium import Medium  # noqa: F401
+from .medium import (  # noqa: F401
+    IdealMedium,
+    Medium,
+    available_media,
+    make_medium,
+    register_medium,
+)
 from .packet import Packet, reset_packet_ids  # noqa: F401
+from .realistic import RealisticMedium  # noqa: F401
 from .topology import Topology  # noqa: F401

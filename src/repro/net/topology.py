@@ -75,6 +75,36 @@ class Topology:
         return cls(nx.complete_graph(k), name=f"mesh-{k}")
 
     @classmethod
+    def fat_tree(cls, pods: int = 2, leaf_fanout: int = 2) -> "Topology":
+        """A small folded-Clos fat tree: 2 cores, one aggregation switch
+        per pod, ``leaf_fanout`` leaves per pod.
+
+        Labels are deterministic: cores 0-1, then aggregations 2..pods+1,
+        then leaves row-major by pod.  Cross-pod leaf traffic needs four
+        hops (leaf - agg - core - agg - leaf), so this topology only
+        delivers end-to-end on a routed medium
+        (:class:`repro.net.realistic.RealisticMedium`).
+        """
+        if pods < 1:
+            raise ValueError("a fat tree needs at least one pod")
+        if leaf_fanout < 1:
+            raise ValueError("each pod needs at least one leaf")
+        graph = nx.Graph()
+        cores = (0, 1)
+        aggregations = tuple(2 + pod for pod in range(pods))
+        leaf_base = 2 + pods
+        graph.add_nodes_from(range(leaf_base + pods * leaf_fanout))
+        for aggregation in aggregations:
+            for core in cores:
+                graph.add_edge(core, aggregation)
+        for pod, aggregation in enumerate(aggregations):
+            for leaf in range(leaf_fanout):
+                graph.add_edge(
+                    aggregation, leaf_base + pod * leaf_fanout + leaf
+                )
+        return cls(graph, name=f"fat-tree-{pods}x{leaf_fanout}")
+
+    @classmethod
     def random_connected(cls, k: int, degree: int = 3, seed: int = 7) -> "Topology":
         """A random connected graph (regular-ish) for randomized tests."""
         attempt = seed

@@ -81,6 +81,10 @@ EVENT_SCHEMA: Dict[str, frozenset] = {
     # network medium
     "net.unicast": frozenset(["src", "dest", "delivered"]),
     "net.broadcast": frozenset(["src", "targets"]),
+    # realistic medium only: a link-level loss or queue-full tail drop
+    # (semantic, not meta — drops are pure functions of the run seed, so
+    # every harness produces the same multiset)
+    "net.drop": frozenset(["src", "dest", "reason"]),
     # state mapping
     "mapper.copy": frozenset(["node", "t", "kind", "role"]),
     # solver

@@ -56,6 +56,8 @@ CONFIG_FIELD_ALLOWLIST = frozenset(
         "loop_reuse",
         "symmetry",
         "por",
+        "medium",
+        "medium_params",
     }
 )
 
@@ -134,6 +136,24 @@ class SubmissionSpec:
         for key, value in config.items():
             if not _is_plain_json(value):
                 raise SpecError(f"config[{key!r}] must be a JSON primitive")
+        medium_params = config.get("medium_params")
+        if medium_params is not None:
+            if not isinstance(medium_params, dict):
+                raise SpecError("config['medium_params'] must be an object")
+            for key, value in medium_params.items():
+                # Medium parameters are numeric knobs (loss, jitter, seed,
+                # ...); a string here is a smuggled path/identifier the
+                # worker would hand to a medium constructor unchecked.
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise SpecError(
+                        f"medium_params[{key!r}] must be a number"
+                        " (path- or string-typed values are not accepted)"
+                    )
+        medium = config.get("medium")
+        if medium is not None and not isinstance(medium, str):
+            raise SpecError("config['medium'] must be a string")
 
         return cls(
             workload=workload,
@@ -151,6 +171,7 @@ class SubmissionSpec:
         records even if a custom registry entry has gone away.
         """
         from ..core.scenario import available_algorithms
+        from ..net.medium import available_media
         from ..workloads import available_workloads
 
         if self.workload not in available_workloads():
@@ -162,6 +183,12 @@ class SubmissionSpec:
             raise SpecError(
                 f"unknown algorithm {self.algorithm!r}; available:"
                 f" {list(available_algorithms())}"
+            )
+        medium = self.config.get("medium", "ideal")
+        if medium not in available_media():
+            raise SpecError(
+                f"unknown medium {medium!r}; available:"
+                f" {list(available_media())}"
             )
         return self
 

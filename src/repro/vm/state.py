@@ -124,6 +124,7 @@ class ExecutionState:
         "timer_generations",
         "current_packet",
         "history",
+        "link_busy",
         "forked_from",
         "trace",
     )
@@ -152,6 +153,9 @@ class ExecutionState:
         self.timer_generations: Dict[int, int] = {}
         self.current_packet = None  # set while an on_recv handler runs
         self.history: tuple = ()  # communication history (packet log)
+        # Per-egress-link busy-until times, written only by media with
+        # finite bandwidth (repro.net.realistic); empty on the ideal path.
+        self.link_busy: Dict[int, int] = {}
         self.forked_from: Optional[int] = None
         self.trace: Tuple[int, ...] = ()  # log() outputs, for tests
 
@@ -180,6 +184,7 @@ class ExecutionState:
         twin.timer_generations = dict(self.timer_generations)
         twin.current_packet = self.current_packet
         twin.history = self.history
+        twin.link_busy = dict(self.link_busy)
         twin.forked_from = self.sid
         twin.trace = self.trace
         return twin
@@ -245,6 +250,7 @@ class ExecutionState:
             tuple(event.config_key() for event in self.events),
             self.current_packet,
             self.history,
+            tuple(sorted(self.link_busy.items())),
         )
 
     def memory_cells(self) -> int:

@@ -14,9 +14,15 @@ from .dissemination import (  # noqa: F401
     dissemination_scenario,
     first_gossip_packet,
 )
+from .election import (  # noqa: F401
+    ELECTION_APP,
+    election_scenario,
+    id_gossip_from_max,
+)
 from .flood import flood_scenario  # noqa: F401
 from .grid import PAPER_SIZES, grid_scenario, paper_grid_scenario  # noqa: F401
 from .line import line_scenario  # noqa: F401
+from .quorum import QUORUM_APP, quorum_scenario, write_packet  # noqa: F401
 
 #: built-in workload name -> scenario factory.  Factories take the
 #: workload size as their first argument; further keywords are
@@ -26,6 +32,8 @@ WORKLOADS: Dict[str, Callable] = {
     "line": line_scenario,
     "flood": flood_scenario,
     "dissemination": dissemination_scenario,
+    "election": election_scenario,
+    "quorum": quorum_scenario,
 }
 
 

@@ -1,7 +1,7 @@
 """Medium and packet behaviour."""
 
 from repro.expr import var
-from repro.net import Medium, Packet, Topology
+from repro.net import IdealMedium, Packet, Topology
 
 
 class TestPacket:
@@ -34,36 +34,41 @@ class TestPacket:
         assert "bcast-leg" in repr(leg)
 
 
-class TestMedium:
+class TestIdealMedium:
     def test_unicast_to_neighbor(self):
-        medium = Medium(Topology.line(3))
+        medium = IdealMedium(Topology.line(3))
         assert medium.unicast_targets(0, 1) == [1]
 
     def test_unicast_out_of_range_lost(self):
-        medium = Medium(Topology.line(3))
+        medium = IdealMedium(Topology.line(3))
         assert medium.unicast_targets(0, 2) == []
         assert medium.undeliverable == 1
 
     def test_broadcast_reaches_all_neighbors(self):
-        medium = Medium(Topology.grid(3))
+        medium = IdealMedium(Topology.grid(3))
         assert medium.broadcast_targets(4) == [1, 3, 5, 7]
 
     def test_latency(self):
-        medium = Medium(Topology.line(2), latency_ms=5)
+        medium = IdealMedium(Topology.line(2), latency_ms=5)
         assert medium.delivery_time(100) == 105
 
     def test_zero_latency_allowed(self):
-        assert Medium(Topology.line(2), latency_ms=0).delivery_time(7) == 7
+        assert IdealMedium(Topology.line(2), latency_ms=0).delivery_time(7) == 7
 
     def test_negative_latency_rejected(self):
         import pytest
 
         with pytest.raises(ValueError):
-            Medium(Topology.line(2), latency_ms=-1)
+            IdealMedium(Topology.line(2), latency_ms=-1)
 
     def test_stats(self):
-        medium = Medium(Topology.line(3))
+        medium = IdealMedium(Topology.line(3))
         medium.unicast_targets(0, 1)
         medium.broadcast_targets(1)
-        unicasts, broadcasts, undeliverable = medium.stats()
-        assert (unicasts, broadcasts, undeliverable) == (1, 1, 0)
+        stats = medium.stats_dict()
+        assert stats["unicasts_sent"] == 1
+        assert stats["broadcasts_sent"] == 1
+        assert stats["undeliverable"] == 0
+
+    def test_node_symmetric(self):
+        assert IdealMedium(Topology.line(3)).node_symmetric()

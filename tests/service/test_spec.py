@@ -112,3 +112,48 @@ class TestDigest:
     def test_scenario_materializes(self):
         scenario = SubmissionSpec.from_dict(spec_dict()).build_scenario()
         assert scenario.name == "flood-3"
+
+
+class TestMediumFields:
+    def test_medium_and_params_accepted(self):
+        spec = SubmissionSpec.from_dict(
+            spec_dict(
+                config={
+                    "medium": "realistic",
+                    "medium_params": {"loss": 0.1, "seed": 3},
+                }
+            )
+        )
+        assert spec.validated_against_registries() is spec
+
+    def test_unknown_medium_rejected_at_registry_check(self):
+        spec = SubmissionSpec.from_dict(
+            spec_dict(config={"medium": "carrier-pigeon"})
+        )
+        with pytest.raises(SpecError, match="unknown medium"):
+            spec.validated_against_registries()
+
+    def test_non_string_medium_rejected(self):
+        with pytest.raises(SpecError, match="must be a string"):
+            SubmissionSpec.from_dict(spec_dict(config={"medium": 3}))
+
+    def test_string_medium_params_rejected(self):
+        # Strings are how a path would be smuggled to a constructor.
+        with pytest.raises(SpecError, match="path- or string-typed"):
+            SubmissionSpec.from_dict(
+                spec_dict(
+                    config={"medium_params": {"seed": "/etc/passwd"}}
+                )
+            )
+
+    def test_bool_medium_params_rejected(self):
+        with pytest.raises(SpecError, match="must be a number"):
+            SubmissionSpec.from_dict(
+                spec_dict(config={"medium_params": {"loss": True}})
+            )
+
+    def test_non_object_medium_params_rejected(self):
+        with pytest.raises(SpecError, match="must be an object"):
+            SubmissionSpec.from_dict(
+                spec_dict(config={"medium_params": 5})
+            )

@@ -149,3 +149,59 @@ class TestResilienceCLI:
         assert chaos["partial"] is False
         for key in ("total_states", "events_executed", "instructions"):
             assert chaos[key] == baseline[key], key
+
+
+class TestNetworkFlags:
+    def test_run_election(self, capsys):
+        assert main(["run", "election:4"]) == 0
+        assert "election-ring-4" in capsys.readouterr().out
+
+    def test_run_quorum(self, capsys):
+        assert main(["run", "quorum:3"]) == 0
+        assert "quorum-ring-3" in capsys.readouterr().out
+
+    def test_link_flags_imply_realistic(self, capsys):
+        assert main(
+            ["run", "election:4", "--link-loss", "0.2", "--net-seed", "5"]
+        ) == 0
+        assert "election-ring-4" in capsys.readouterr().out
+
+    def test_medium_flag_on_paper_workload(self, capsys):
+        assert main(
+            ["run", "line:3", "--sim-seconds", "2", "--medium", "realistic"]
+        ) == 0
+        assert "line-3" in capsys.readouterr().out
+
+    def test_ideal_with_link_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "election:4",
+                    "--medium",
+                    "ideal",
+                    "--link-loss",
+                    "0.2",
+                ]
+            )
+
+    def test_net_seed_changes_lossy_outcome(self, tmp_path):
+        import json
+
+        reports = {}
+        for seed in ("1", "2"):
+            path = tmp_path / f"r{seed}.json"
+            assert main(
+                [
+                    "run",
+                    "election:4",
+                    "--link-loss",
+                    "0.3",
+                    "--net-seed",
+                    seed,
+                    "--json",
+                    str(path),
+                ]
+            ) == 0
+            reports[seed] = json.loads(path.read_text())["net_stats"]
+        assert reports["1"] != reports["2"]

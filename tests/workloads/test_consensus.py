@@ -1,0 +1,124 @@
+"""Election and quorum workloads: violations SDE must find, certified
+violation-free runs, and deterministic reproduction from the seed."""
+
+import pytest
+
+from repro import build_engine
+from repro.net.packet import Packet
+from repro.workloads import (
+    election_scenario,
+    id_gossip_from_max,
+    quorum_scenario,
+    write_packet,
+)
+
+
+def _error_codes(report):
+    return sorted(s.error.code for s in report.error_states)
+
+
+class TestElection:
+    @pytest.mark.parametrize("topology", ["ring", "mesh"])
+    def test_split_brain_found_under_symbolic_drop(self, topology):
+        report = build_engine(
+            election_scenario(5, topology=topology), "sds"
+        ).run()
+        assert not report.aborted
+        codes = set(_error_codes(report))
+        assert 40 in codes  # a self-declared leader heard a rival
+
+    @pytest.mark.parametrize("topology", ["ring", "mesh"])
+    def test_violation_free_without_failures(self, topology):
+        report = build_engine(
+            election_scenario(5, topology=topology, failures=False), "sds"
+        ).run()
+        assert not report.aborted
+        assert report.error_states == []
+
+    def test_exactly_one_leader_in_clean_world(self):
+        engine = build_engine(election_scenario(5, failures=False), "sds")
+        engine.run()
+        leader = engine.program.global_address("leader")
+        declared = [
+            node
+            for node in engine.topology.nodes()
+            if any(
+                s.memory[leader] == 1 for s in engine.states_of_node(node)
+            )
+        ]
+        assert declared == [4]  # the maximum id, and only it
+
+    def test_violation_reproduces_deterministically(self):
+        codes = [
+            _error_codes(build_engine(election_scenario(5), "sds").run())
+            for _ in range(2)
+        ]
+        assert codes[0] == codes[1]
+        assert codes[0]  # non-empty: same defects, same multiplicity
+
+    def test_runs_on_lossless_realistic_medium(self):
+        report = build_engine(
+            election_scenario(5, medium="realistic"), "sds"
+        ).run()
+        assert 40 in set(_error_codes(report))
+
+    def test_small_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            election_scenario(2)
+
+    def test_filter_matches_only_max_gossip(self):
+        match = id_gossip_from_max
+        assert match(Packet(0, 1, (1, 4), 0), max_id=4)
+        assert not match(Packet(0, 1, (1, 3), 0), max_id=4)
+        assert not match(Packet(0, 1, (2, 4), 0), max_id=4)  # announcement
+
+
+class TestQuorum:
+    def test_commit_without_data_found_under_symbolic_drop(self):
+        report = build_engine(quorum_scenario(4), "sds").run()
+        assert not report.aborted
+        assert 55 in set(_error_codes(report))
+
+    def test_violation_free_without_failures(self):
+        report = build_engine(quorum_scenario(4, failures=False), "sds").run()
+        assert not report.aborted
+        assert report.error_states == []
+
+    def test_all_replicas_apply_in_clean_world(self):
+        engine = build_engine(quorum_scenario(4, failures=False), "sds")
+        engine.run()
+        applied = engine.program.global_address("applied")
+        for node in (1, 2, 3):
+            assert all(
+                s.memory[applied] == 1 for s in engine.states_of_node(node)
+            )
+
+    def test_uses_routed_unicasts(self):
+        engine = build_engine(quorum_scenario(4, failures=False), "sds")
+        report = engine.run()
+        stats = report.net_stats
+        assert stats["undeliverable"] == 0
+        # On a 4-ring the writer's traffic to node 2 is 2 hops each way.
+        assert stats["hops_traversed"] > stats["delivered"]
+
+    def test_mesh_on_ideal_medium_also_works(self):
+        report = build_engine(
+            quorum_scenario(4, topology="mesh", medium="ideal"), "sds"
+        ).run()
+        assert 55 in set(_error_codes(report))
+
+    def test_ideal_ring_rejected(self):
+        with pytest.raises(ValueError, match="one hop"):
+            quorum_scenario(4, medium="ideal")
+
+    def test_violation_reproduces_deterministically(self):
+        codes = [
+            _error_codes(build_engine(quorum_scenario(4), "sds").run())
+            for _ in range(2)
+        ]
+        assert codes[0] == codes[1] != []
+
+    def test_filter_matches_only_writes(self):
+        assert write_packet(Packet(0, 1, (1, 7), 0))
+        assert not write_packet(Packet(0, 1, (2, 1), 0))
+        assert not write_packet(Packet(0, 1, (3, 0), 0))
